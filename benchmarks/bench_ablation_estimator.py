@@ -1,0 +1,30 @@
+"""Ablation: whole-partition COUNT vs the §2.3 uniform-density estimator.
+
+Expected shape: the uniform estimator's absolute error is far below the
+whole-partition COUNT's in the narrow-selectivity bands (where counting
+every intersecting partition wholesale overcounts massively), and the gap
+closes as queries widen.
+"""
+
+import math
+
+from conftest import run_figure
+
+from repro.bench.figures import ablation_estimator
+
+RECORDS = 12_000
+
+
+def test_ablation_estimator(benchmark) -> None:
+    table = run_figure(
+        benchmark, lambda: ablation_estimator(records=RECORDS, k=10, queries=400)
+    )
+    rows = [row for row in table.rows if row[1] > 0]
+    assert len(rows) >= 3
+    whole = [row[2] for row in rows]
+    estimate = [row[3] for row in rows]
+    assert not any(math.isnan(v) for v in whole + estimate)
+    # The estimator wins decisively on narrow queries...
+    assert estimate[0] < 0.5 * whole[0]
+    # ...and the absolute gap shrinks toward broad queries.
+    assert (whole[-1] - estimate[-1]) < 0.5 * (whole[0] - estimate[0])

@@ -1,0 +1,27 @@
+"""Ablation: the §4 compaction retrofit on a grid file.
+
+The paper motivates compaction with indexes "such as the grid file, that
+do not maintain MBRs for their records".  Expected shape: the grid's
+region-published release is loose; compaction recovers most of the gap to
+the R+-tree's native MBR output, on both certainty and query error.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import ablation_gridfile
+
+RECORDS = 8_000
+
+
+def test_ablation_gridfile(benchmark) -> None:
+    table = run_figure(benchmark, lambda: ablation_gridfile(records=RECORDS, k=10))
+    certainty = {str(row[0]): row[1] for row in table.rows}
+    error = {str(row[0]): row[2] for row in table.rows}
+
+    # Compaction strictly improves the grid release on both axes...
+    assert certainty["grid file + compaction"] < certainty["grid file (regions)"]
+    assert error["grid file + compaction"] < error["grid file (regions)"]
+    # ...and recovers a large share of the gap to native MBRs.
+    assert certainty["grid file + compaction"] < 0.75 * certainty["grid file (regions)"]
+    # The R+-tree's native-MBR output remains the best of the three.
+    assert certainty["rtree (native MBRs)"] <= certainty["grid file + compaction"]

@@ -1,0 +1,25 @@
+"""Ablation: weighted splitting optimizes the weighted certainty penalty.
+
+Expected shape (§2.4 / Xu et al.): under the zipcode-weighted metric the
+weighted tree scores better than the unweighted tree; under the plain
+metric it concedes at most a modest amount — the trade is real but cheap.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import ablation_weighted_certainty
+
+RECORDS = 12_000
+
+
+def test_ablation_weighted(benchmark) -> None:
+    table = run_figure(
+        benchmark, lambda: ablation_weighted_certainty(records=RECORDS, k=10)
+    )
+    scores = {str(row[0]): (row[1], row[2]) for row in table.rows}
+    weighted_tree = scores["weighted splits"]
+    plain_tree = scores["unweighted splits"]
+    # Wins under the weighted metric...
+    assert weighted_tree[0] < plain_tree[0]
+    # ...while conceding at most 40% under the plain metric.
+    assert weighted_tree[1] < 1.4 * plain_tree[1]

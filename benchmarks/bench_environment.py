@@ -1,0 +1,11 @@
+"""Table 1: the system-configuration report (documentation, not a claim)."""
+
+from conftest import run_figure
+
+from repro.bench.runner import environment_report
+
+
+def test_table1_environment(benchmark) -> None:
+    table = run_figure(benchmark, environment_report)
+    categories = {str(row[0]) for row in table.rows}
+    assert {"Interpreter", "Operating system", "CPU"} <= categories

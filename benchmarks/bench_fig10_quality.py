@@ -1,0 +1,39 @@
+"""Figure 10: anonymization quality (discernibility, certainty, KL) vs k.
+
+Paper shapes:
+
+* (a) discernibility: identical for compacted/uncompacted Mondrian (the
+  metric is blind to box extents), R+-tree comparable;
+* (b) certainty: R+-tree best; compaction closes most of Mondrian's gap;
+* (c) KL divergence: same ordering as certainty.
+"""
+
+from collections import defaultdict
+
+from conftest import run_figure
+
+from repro.bench.figures import fig10_quality
+
+RECORDS = 12_000
+KS = (5, 10, 25, 50)
+
+
+def test_fig10(benchmark) -> None:
+    table = run_figure(benchmark, lambda: fig10_quality(records=RECORDS, ks=KS))
+    by_algorithm: dict[tuple[int, str], tuple] = {}
+    for k, algorithm, dm, cm, kl, _parts in table.rows:
+        by_algorithm[(k, algorithm)] = (dm, cm, kl)
+
+    for k in KS:
+        rtree = by_algorithm[(k, "rtree")]
+        mondrian = by_algorithm[(k, "mondrian")]
+        compacted = by_algorithm[(k, "mondrian+compact")]
+        # (a) compaction is invisible to discernibility.
+        assert mondrian[0] == compacted[0]
+        # R+-tree discernibility is comparable (within 15%).
+        assert rtree[0] < 1.15 * mondrian[0]
+        # (b) certainty: rtree < compacted << uncompacted.
+        assert rtree[1] < compacted[1] < mondrian[1]
+        assert mondrian[1] > 3.0 * compacted[1]  # compaction is dramatic
+        # (c) KL divergence: same ordering.
+        assert rtree[2] < compacted[2] < mondrian[2]

@@ -1,0 +1,35 @@
+"""Figure 12(a): average COUNT-query error vs k.
+
+Paper shape: error grows with k for everyone (coarser partitions); the
+R+-tree is at least as accurate as compacted Mondrian, and uncompacted
+Mondrian is far behind.
+"""
+
+from conftest import column, run_figure
+
+from repro.bench.figures import fig12a_query_error
+
+RECORDS = 12_000
+KS = (5, 10, 25, 50)
+QUERIES = 500
+
+
+def test_fig12a(benchmark) -> None:
+    table = run_figure(
+        benchmark,
+        lambda: fig12a_query_error(records=RECORDS, ks=KS, queries=QUERIES),
+    )
+    rtree = column(table, "rtree")
+    compacted = column(table, "mondrian compacted")
+    uncompacted = column(table, "mondrian uncompacted")
+
+    for r, c, u in zip(rtree, compacted, uncompacted):
+        # Compaction buys a large factor over raw Mondrian regions.
+        assert u > 1.5 * c
+        # The R+-tree sits at parity with compacted Mondrian.  (The paper
+        # reports it slightly ahead; across our scales and seeds the two
+        # trade places within ~15% — see EXPERIMENTS.md.)
+        assert r < 1.25 * c
+    # Coarser anonymity -> larger errors.
+    assert rtree[-1] > rtree[0]
+    assert compacted[-1] > compacted[0]

@@ -1,0 +1,37 @@
+"""Figure 12(b): query error vs selectivity (k=10).
+
+Paper shape: "the larger the cardinality of the query result, the smaller
+the error", and the gaps between anonymization algorithms shrink as
+selectivity grows — even the benefit of compaction fades for broad queries.
+"""
+
+import math
+
+from conftest import run_figure
+
+from repro.bench.figures import fig12b_selectivity
+
+RECORDS = 12_000
+QUERIES = 600
+
+
+def test_fig12b(benchmark) -> None:
+    table = run_figure(
+        benchmark, lambda: fig12b_selectivity(records=RECORDS, k=10, queries=QUERIES)
+    )
+    rows = [row for row in table.rows if row[1] > 0]  # non-empty bands
+    assert len(rows) >= 3
+    rtree = [row[2] for row in rows]
+    compacted = [row[3] for row in rows]
+    uncompacted = [row[4] for row in rows]
+    assert not any(math.isnan(value) for value in rtree + compacted + uncompacted)
+
+    # Errors fall as selectivity grows (compare the narrowest and the
+    # broadest populated bands).
+    assert rtree[0] > rtree[-1]
+    assert uncompacted[0] > uncompacted[-1]
+    # Gaps diminish: the compaction advantage in the broadest band is a
+    # fraction of its advantage in the narrowest band.
+    narrow_gap = uncompacted[0] - compacted[0]
+    broad_gap = uncompacted[-1] - compacted[-1]
+    assert broad_gap < 0.5 * narrow_gap

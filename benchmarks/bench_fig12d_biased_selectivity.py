@@ -1,0 +1,33 @@
+"""Figure 12(d): biased vs unbiased error across selectivity bands (k=10).
+
+Paper shape: the biased index wins across selectivities, but "the
+differences diminish as we increase the selectivity on the original data
+set".
+"""
+
+import math
+
+from conftest import run_figure
+
+from repro.bench.figures import fig12d_biased_selectivity
+
+RECORDS = 12_000
+QUERIES = 600
+
+
+def test_fig12d(benchmark) -> None:
+    table = run_figure(
+        benchmark,
+        lambda: fig12d_biased_selectivity(records=RECORDS, k=10, queries=QUERIES),
+    )
+    rows = [row for row in table.rows if row[1] > 0]
+    assert len(rows) >= 3
+    unbiased = [row[2] for row in rows]
+    biased = [row[3] for row in rows]
+    assert not any(math.isnan(value) for value in unbiased + biased)
+
+    # The biased index wins in every populated band...
+    for u, b in zip(unbiased, biased):
+        assert b <= u
+    # ...and the absolute gap shrinks toward broad queries.
+    assert (unbiased[-1] - biased[-1]) < 0.5 * (unbiased[0] - biased[0])

@@ -1,0 +1,42 @@
+"""Figure 7(a): bulk anonymization time, R+-tree vs top-down Mondrian.
+
+Paper shape: the R+-tree per-k line is flat (one base-k bulk load serves
+every granularity through the leaf scan), while Mondrian re-runs per k with
+cost falling as k grows.  Under the paper's protocol the build amortizes
+across the sweep, putting the flat line below the Mondrian curve in
+aggregate.  See EXPERIMENTS.md for the absolute-ratio discussion (our
+Mondrian baseline is far more optimized than the 2007 Java prototype).
+"""
+
+from conftest import column, run_figure
+
+from repro.bench.figures import fig7a_bulk_times
+
+RECORDS = 15_000
+KS = (5, 10, 25, 50, 100, 250)
+
+
+def test_fig7a(benchmark) -> None:
+    table = run_figure(
+        benchmark, lambda: fig7a_bulk_times(records=RECORDS, ks=KS)
+    )
+    scans = column(table, "rtree scan (s)")
+    per_k = column(table, "rtree per-k (s)")
+    mondrian = column(table, "mondrian (s)")
+    builds = column(table, "rtree build (s)")
+
+    # The R+-tree cost is flat in k: the scan varies little and the build
+    # is a constant shared by every k.
+    assert max(per_k) < 2.0 * min(per_k)
+    # The *marginal* cost of another granularity is a leaf scan — a small
+    # fraction of re-running the top-down algorithm.
+    average_scan = sum(scans) / len(scans)
+    average_mondrian = sum(mondrian) / len(mondrian)
+    assert average_scan < 0.5 * average_mondrian
+    # Across the sweep, one build + all scans is at worst near-parity with
+    # re-running Mondrian per k (and pulls ahead as more granularities are
+    # requested); the absolute build-time inversion vs the paper is
+    # discussed in EXPERIMENTS.md.
+    assert builds[0] + sum(scans) < 1.5 * sum(mondrian)
+    # Mondrian gets cheaper as k grows (fewer recursion levels).
+    assert mondrian[0] > mondrian[-1]

@@ -1,0 +1,23 @@
+"""Figure 8(a): anonymization time vs data set size (Agrawal generator).
+
+Paper shape: near-linear scaling — the per-record cost stays within a small
+band as the input grows (the paper swept 1M..100M on disk; we sweep a
+laptop-scaled range through the identical code path).
+"""
+
+from conftest import column, run_figure
+
+from repro.bench.figures import fig8a_scaling
+
+SIZES = (5_000, 10_000, 20_000, 40_000)
+
+
+def test_fig8a(benchmark) -> None:
+    table = run_figure(benchmark, lambda: fig8a_scaling(sizes=SIZES, k=10))
+    per_record = column(table, "us/record")
+    times = column(table, "time (s)")
+
+    assert times == sorted(times)  # bigger inputs take longer
+    # Near-linear: per-record cost varies by less than 2.5x across an
+    # 8x size range.
+    assert max(per_record) < 2.5 * min(per_record)

@@ -1,0 +1,24 @@
+"""Figure 8(b): explicit I/O count vs memory budget.
+
+Paper shape: "I/O costs increase by less than a factor of two when the
+allotted memory is reduced by a factor of two" — the buffer tree's page
+traffic is concentrated on the hot upper levels, which survive in a
+smaller pool.
+"""
+
+from conftest import column, run_figure
+
+from repro.bench.figures import fig8b_io_costs
+
+RECORDS = 30_000
+
+
+def test_fig8b(benchmark) -> None:
+    table = run_figure(benchmark, lambda: fig8b_io_costs(records=RECORDS, k=10))
+    totals = column(table, "total I/O")
+
+    # Budgets halve row to row: I/O grows monotonically...
+    assert totals == sorted(totals)
+    # ...but by less than 2x per halving.
+    for smaller_memory, larger_memory in zip(totals[1:], totals[:-1]):
+        assert smaller_memory < 2.0 * larger_memory

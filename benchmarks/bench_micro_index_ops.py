@@ -1,0 +1,93 @@
+"""Micro-benchmarks: the index-maintenance primitives.
+
+Unlike the figure benches (one-shot experiments), these are true
+microbenchmarks — pytest-benchmark runs them for many rounds — tracking
+the per-operation costs that make incremental anonymization viable:
+single insert, single delete, a range search, a point lookup, and a full
+leaf-scan release.  Regressions here silently become regressions in
+Figures 7(b) and 11.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.dataset.landsend import LandsEndGenerator
+from repro.dataset.record import Record
+from repro.geometry.box import Box
+
+RECORDS = 10_000
+K = 10
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    table = LandsEndGenerator(seed=7).generate(RECORDS)
+    anonymizer = RTreeAnonymizer(table, base_k=K, leaf_capacity=2 * K - 1)
+    anonymizer.bulk_load(table)
+    return anonymizer, table
+
+
+def test_single_insert(benchmark, loaded) -> None:
+    anonymizer, _table = loaded
+    generator = LandsEndGenerator(seed=8)
+    fresh = generator.generate(20_000, first_rid=1_000_000)
+    stream = itertools.cycle(fresh.records)
+    counter = itertools.count()
+
+    def insert() -> None:
+        record = next(stream)
+        anonymizer.insert(
+            Record(2_000_000 + next(counter), record.point, record.sensitive)
+        )
+
+    benchmark(insert)
+
+
+def test_insert_delete_cycle(benchmark, loaded) -> None:
+    anonymizer, _table = loaded
+    generator = LandsEndGenerator(seed=9)
+    fresh = generator.generate(5_000, first_rid=3_000_000)
+    stream = itertools.cycle(fresh.records)
+
+    def churn() -> None:
+        record = next(stream)
+        anonymizer.insert(record)
+        anonymizer.delete(record.rid, record.point)
+
+    benchmark(churn)
+
+
+def test_range_search(benchmark, loaded) -> None:
+    anonymizer, table = loaded
+    rng = random.Random(10)
+    records = table.records
+
+    def search() -> int:
+        first = rng.choice(records).point
+        second = rng.choice(records).point
+        box = Box(
+            tuple(min(a, b) for a, b in zip(first, second)),
+            tuple(max(a, b) for a, b in zip(first, second)),
+        )
+        return len(anonymizer.tree.search(box))
+
+    benchmark(search)
+
+
+def test_point_lookup(benchmark, loaded) -> None:
+    anonymizer, table = loaded
+    stream = itertools.cycle(table.records)
+
+    def lookup() -> None:
+        anonymizer.tree.locate_leaf(next(stream).point)
+
+    benchmark(lookup)
+
+
+def test_leafscan_release(benchmark, loaded) -> None:
+    anonymizer, _table = loaded
+    release = benchmark(lambda: anonymizer.anonymize(2 * K))
+    assert release.k_effective >= 2 * K

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs a figure driver exactly once (``rounds=1``) — the
+drivers are experiments with internal timing columns, not microbenchmarks —
+then prints the paper-style table and asserts the *shape* the paper reports
+(who wins, monotonicity, rough factors).  Absolute numbers are recorded by
+pytest-benchmark for run-to-run comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.runner import BenchTable
+
+
+def run_figure(benchmark, driver: Callable[[], BenchTable]) -> BenchTable:
+    """Execute a figure driver once under the benchmark fixture and print it."""
+    result = benchmark.pedantic(driver, rounds=1, iterations=1)
+    print()
+    result.show()
+    return result
+
+
+def column(table: BenchTable, name: str) -> list:
+    """Extract one column of a bench table by header name."""
+    index = list(table.headers).index(name)
+    return [row[index] for row in table.rows]

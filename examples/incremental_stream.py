@@ -1,0 +1,82 @@
+"""Incremental anonymization of a record stream (§2.2).
+
+Run with::
+
+    python examples/incremental_stream.py
+
+Simulates a live sales feed: an initial bulk load, then batches of new
+orders arriving (with occasional deletions for returns/GDPR erasure).
+After every batch the anonymized view is immediately consistent — no
+re-anonymization ever happens — and its quality is tracked to show it does
+not decay relative to anonymizing everything from scratch.
+"""
+
+import random
+import time
+
+from repro import (
+    LandsEndGenerator,
+    MondrianAnonymizer,
+    RTreeAnonymizer,
+    Table,
+    certainty_penalty,
+    compact_table,
+    is_k_anonymous,
+)
+
+K = 10
+BATCH = 2_500
+BATCHES = 6
+
+
+def main() -> None:
+    generator = LandsEndGenerator(seed=11)
+    rng = random.Random(11)
+
+    first = generator.generate(BATCH, stream_offset=0)
+    anonymizer = RTreeAnonymizer(first, base_k=K, leaf_capacity=2 * K - 1)
+    start = time.perf_counter()
+    anonymizer.bulk_load(first)
+    print(f"initial load: {BATCH:,} records in {time.perf_counter() - start:.2f}s")
+
+    seen = Table(first.schema, list(first.records))
+    live_rids = {record.rid: record for record in first}
+
+    for batch_number in range(1, BATCHES + 1):
+        batch = generator.generate(
+            BATCH, stream_offset=batch_number, first_rid=batch_number * BATCH
+        )
+        start = time.perf_counter()
+        anonymizer.insert_batch(batch)
+        insert_time = time.perf_counter() - start
+        for record in batch:
+            seen.append(record)
+            live_rids[record.rid] = record
+
+        # A few returns: delete ~1% of live records through the index.
+        victims = rng.sample(sorted(live_rids), k=max(1, len(live_rids) // 100))
+        start = time.perf_counter()
+        for rid in victims:
+            record = live_rids.pop(rid)
+            anonymizer.delete(rid, record.point)
+        delete_time = time.perf_counter() - start
+
+        current = Table(seen.schema, list(live_rids.values()))
+        incremental = anonymizer.anonymize(K)
+        scratch = compact_table(MondrianAnonymizer(current).anonymize(K))
+        print(
+            f"batch {batch_number}: +{BATCH:,}/-{len(victims)} records in "
+            f"{insert_time:.2f}s/{delete_time:.2f}s | "
+            f"{len(anonymizer):,} live | k-anonymous: "
+            f"{is_k_anonymous(incremental, K)} | certainty "
+            f"incremental {certainty_penalty(incremental, current):,.0f} vs "
+            f"from-scratch {certainty_penalty(scratch, current):,.0f}"
+        )
+
+    print("\nincremental maintenance never re-anonymized the data set; "
+          "a non-incremental algorithm would have re-run "
+          f"{BATCHES} times over up to {len(seen):,} records.")
+
+
+if __name__ == "__main__":
+    main()

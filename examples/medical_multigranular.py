@@ -1,0 +1,105 @@
+"""Multi-granular releases for audiences with different trust levels (§3).
+
+Run with::
+
+    python examples/medical_multigranular.py
+
+The paper's motivating scenario: a hospital shares anonymized patient
+records with three entities — in-house researchers (most trusted), an
+external research group, and the open Internet (least trusted) — at
+granularities 5, 20 and 50.  Releasing three anonymizations of the *same*
+table invites an intersection attack, so the releases are generated from
+one spatial index (whole-leaf groups are k-bound, Lemma 1) and the attack
+is then actually run to show it fails.  A naive alternative — three
+independent re-anonymizations — is attacked too, showing how records leak.
+"""
+
+import random
+
+from repro import (
+    DistinctLDiversity,
+    MondrianAnonymizer,
+    RTreeAnonymizer,
+    Record,
+    ReleaseRegistry,
+    ReleaseRejected,
+    Table,
+    intersection_attack,
+    make_landsend_table,
+)
+
+AILMENTS = (
+    "anemia", "flu", "cancer", "torn acl", "whiplash",
+    "asthma", "diabetes", "migraine",
+)
+
+
+def patient_table(count: int, seed: int) -> Table:
+    """A sales-shaped table recast as patient records with an ailment column."""
+    base = make_landsend_table(count, seed=seed)
+    rng = random.Random(seed)
+    records = [
+        Record(record.rid, record.point, (rng.choice(AILMENTS),))
+        for record in base
+    ]
+    return Table(base.schema, records)
+
+
+def main() -> None:
+    table = patient_table(10_000, seed=7)
+    audiences = {
+        "in-house researchers": 5,
+        "external research group": 20,
+        "the Internet": 50,
+    }
+
+    # One index, three releases, and a registry that audits every handout:
+    # k-anonymity survives collusion, and the registry proves it on entry.
+    anonymizer = RTreeAnonymizer(table, base_k=5, leaf_capacity=9)
+    anonymizer.bulk_load(table)
+    registry = ReleaseRegistry(table, pledge_k=5)
+    safe_releases = []
+    print("hierarchically bound releases (one shared index):")
+    for audience, k in audiences.items():
+        release = anonymizer.anonymize(k)
+        safe_releases.append(release)
+        registry.register(audience, release, k)
+        print(f"  {audience:26s} k={k:3d}: {release.summary()}")
+    report = registry.audit()
+    print(f"  intersection attack over all three: minimum candidate set "
+          f"{report.min_candidates} (>= 5 means base-k anonymity held)")
+
+    # The registry is the enforcement point: a crossing re-anonymization
+    # that would isolate records is refused at the door.
+    rogue = MondrianAnonymizer(table.sample(len(table), seed=99)).anonymize(5)
+    try:
+        registry.register("rogue analytics vendor", rogue, 5)
+        print("  rogue release registered (unexpected!)")
+    except ReleaseRejected as refusal:
+        print(f"  rogue release refused: {refusal}\n")
+
+    # The naive alternative: independent re-anonymizations of the table.
+    naive_releases = [
+        MondrianAnonymizer(table.sample(len(table), seed=s)).anonymize(k)
+        for s, k in zip((1, 2, 3), audiences.values())
+    ]
+    naive_report = intersection_attack(naive_releases)
+    print("independent re-anonymizations (what the paper warns against):")
+    print(f"  minimum candidate set {naive_report.min_candidates}; records with "
+          f"fewer than 5 candidates: {naive_report.compromised_below[5]:,} "
+          f"of {naive_report.records:,}")
+
+    # Stronger definitions plug straight in: l-diverse release for the web.
+    diverse = anonymizer.anonymize(
+        50, constraint=DistinctLDiversity(l=4, sensitive_index=0)
+    )
+    worst = min(
+        len({r.sensitive[0] for r in partition.records})
+        for partition in diverse.partitions
+    )
+    print(f"\n4-diverse 50-anonymous web release: {diverse.summary()}; "
+          f"every partition carries >= {worst} distinct ailments")
+
+
+if __name__ == "__main__":
+    main()

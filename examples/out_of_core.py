@@ -1,0 +1,63 @@
+"""Out-of-core anonymization with the metered storage layer (§2.1, §5.2).
+
+Run with::
+
+    python examples/out_of_core.py
+
+Stages a synthetic Agrawal data set to a binary record file, then
+bulk-anonymizes it through the buffer tree with the simulated page storage
+attached, under shrinking memory budgets.  The printed I/O counts are what
+Figure 8(b) plots: note how halving memory raises I/O by *less* than 2x.
+"""
+
+import os
+import tempfile
+
+from repro import AgrawalGenerator, RTreeAnonymizer
+from repro.dataset.io import RecordFileReader, read_table
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import PageFile
+
+RECORDS = 30_000
+K = 10
+
+
+def main() -> None:
+    generator = AgrawalGenerator(seed=5)
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "agrawal.rec")
+        written = generator.write_file(path, RECORDS)
+        reader = RecordFileReader(path)
+        data_bytes = written * reader.record_bytes
+        print(f"staged {written:,} records ({reader.record_bytes} bytes each, "
+              f"{data_bytes / 1e6:.1f} MB) to {path}")
+
+        table = read_table(path, generator.schema)
+        print(f"{'memory':>10s} {'reads':>10s} {'writes':>10s} {'total I/O':>10s}")
+        budget = data_bytes // 2
+        previous_total = None
+        while budget >= data_bytes // 16:
+            pagefile: PageFile = PageFile(page_bytes=4096, record_bytes=36)
+            pool: BufferPool = BufferPool(pagefile, budget)
+            anonymizer = RTreeAnonymizer(
+                table, base_k=K, leaf_capacity=2 * K - 1, pool=pool
+            )
+            anonymizer.bulk_load(table)
+            pool.flush()
+            stats = pagefile.stats
+            growth = (
+                f"  ({stats.total / previous_total:.2f}x after halving memory)"
+                if previous_total
+                else ""
+            )
+            print(f"{budget // 1024:>8d}KB {stats.reads:>10,} {stats.writes:>10,} "
+                  f"{stats.total:>10,}{growth}")
+            previous_total = stats.total
+            budget //= 2
+
+    print("\nthe sub-2x growth per halving is the buffer tree at work: "
+          "most page traffic hits the hot upper levels, which stay cached.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Workload-aware anonymization with biased and weighted splitting (§2.4).
+
+Run with::
+
+    python examples/workload_aware.py
+
+When the analysts who will consume the anonymized data are known to query
+mostly one attribute (zipcode, say, for regional studies), the index can
+spend its splits there.  This example compares three trees on a
+zipcode-only COUNT workload: unbiased, hard-biased (always split zipcode),
+and softly weighted (zipcode worth 4x in the split objective) — and then
+shows the price the biased tree pays on a general all-attribute workload.
+"""
+
+from repro import (
+    BiasedSplitPolicy,
+    RTreeAnonymizer,
+    WeightedSplitPolicy,
+    average_error,
+    evaluate_workload,
+    make_landsend_table,
+    random_range_workload,
+    single_attribute_workload,
+)
+
+K = 10
+
+
+def main() -> None:
+    table = make_landsend_table(15_000, seed=3)
+    zip_dimension = table.schema.index_of("zipcode")
+    dimensions = table.schema.dimensions
+
+    trees = {
+        "unbiased": None,
+        "biased (zipcode only)": BiasedSplitPolicy([zip_dimension]),
+        "weighted (zipcode x4)": WeightedSplitPolicy(
+            [4.0 if d == zip_dimension else 1.0 for d in range(dimensions)]
+        ),
+    }
+
+    zipcode_queries = single_attribute_workload(table, "zipcode", 500, seed=21)
+    general_queries = random_range_workload(table, 500, seed=22)
+
+    print(f"{'policy':24s} {'zipcode workload':>18s} {'general workload':>18s}")
+    for name, policy in trees.items():
+        anonymizer = RTreeAnonymizer(
+            table, base_k=K, leaf_capacity=2 * K - 1, split_policy=policy
+        )
+        anonymizer.bulk_load(table)
+        release = anonymizer.anonymize(K)
+        zip_error = average_error(evaluate_workload(zipcode_queries, release, table))
+        general_error = average_error(
+            evaluate_workload(general_queries, release, table)
+        )
+        print(f"{name:24s} {zip_error:18.2f} {general_error:18.2f}")
+
+    print("\nlower is better: biasing buys accuracy on the anticipated "
+          "workload at the cost of the general one — the §2.4 trade-off.")
+
+
+if __name__ == "__main__":
+    main()

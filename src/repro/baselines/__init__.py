@@ -1,0 +1,18 @@
+"""Baseline anonymization algorithms the paper compares against.
+
+* :mod:`repro.baselines.mondrian` — the top-down multidimensional
+  partitioner the paper benchmarks against throughout §5;
+* :mod:`repro.baselines.grid` — a grid-file-based anonymizer, the §4
+  example of an index "that does not maintain MBRs", used to demonstrate
+  the compaction retrofit on a second index family.
+"""
+
+from repro.baselines.grid import GridFileAnonymizer, gridfile_anonymize
+from repro.baselines.mondrian import MondrianAnonymizer, mondrian_anonymize
+
+__all__ = [
+    "GridFileAnonymizer",
+    "MondrianAnonymizer",
+    "gridfile_anonymize",
+    "mondrian_anonymize",
+]

@@ -1,0 +1,12 @@
+"""Shared experiment harness.
+
+:mod:`repro.bench.runner` provides timing and table-printing utilities;
+:mod:`repro.bench.figures` implements one driver per paper table/figure,
+each returning structured rows.  Both the ``benchmarks/`` pytest-benchmark
+suite and the ``repro`` CLI call these drivers, so an experiment always
+means the same code path regardless of how it is invoked.
+"""
+
+from repro.bench.runner import BenchTable, Timer, environment_report
+
+__all__ = ["BenchTable", "Timer", "environment_report"]

@@ -1,0 +1,109 @@
+"""Timing, environment reporting and table formatting for experiments."""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    ::
+
+        with Timer() as timer:
+            expensive()
+        print(timer.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def best_of(runs: int, action: Callable[[], object]) -> float:
+    """The fastest of ``runs`` wall-clock measurements of ``action``.
+
+    Minimum (not mean) is the standard noise-robust statistic for
+    wall-clock microbenchmarks on a shared machine.
+    """
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class BenchTable:
+    """A printable experiment result: headers plus rows.
+
+    Numeric cells are formatted compactly; the table prints with aligned
+    columns in the style of the paper's reported series.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{len(cells)} cells for {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.3f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def render(self) -> str:
+        formatted = [[self._format(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in formatted))
+            if formatted
+            else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(str(h).rjust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+
+def environment_report() -> BenchTable:
+    """Our equivalent of the paper's Table 1 (system configuration)."""
+    table = BenchTable("Table 1: system configuration", ["Category", "Description"])
+    table.add("Interpreter", f"CPython {platform.python_version()}")
+    table.add("Operating system", platform.platform())
+    table.add("CPU", platform.processor() or platform.machine())
+    table.add("Pointer size", f"{sys.maxsize.bit_length() + 1} bit")
+    import numpy
+
+    table.add("numpy", numpy.__version__)
+    return table

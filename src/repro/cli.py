@@ -1,0 +1,120 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+::
+
+    repro list                     # what can be run
+    repro table1                   # environment report (Table 1)
+    repro fig10                    # Figure 10 at the default scaled size
+    repro fig10 --records 50000    # bigger run
+    repro all                      # every experiment, default sizes
+
+Each experiment prints the same rows the paper plots; see EXPERIMENTS.md
+for the recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.figures import DRIVERS
+from repro.bench.runner import environment_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'K-Anonymization as Spatial Indexing'",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id: 'list', 'all', 'table1', or one of the figure ids",
+    )
+    parser.add_argument(
+        "--records", type=int, default=None, help="override the record count"
+    )
+    parser.add_argument(
+        "--k", type=int, default=None, help="override the anonymity parameter"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None, help="override the query count"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="additionally write the result rows to a CSV file (plot-ready)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    name = arguments.experiment.lower()
+    if name == "list":
+        print("Available experiments:")
+        print("  table1  (system configuration report)")
+        for key in DRIVERS:
+            print(f"  {key}")
+        print("  all     (run everything at default sizes)")
+        return 0
+    if name == "table1":
+        environment_report().show()
+        return 0
+    overrides = {
+        key: value
+        for key, value in (
+            ("records", arguments.records),
+            ("k", arguments.k),
+            ("queries", arguments.queries),
+            ("seed", arguments.seed),
+        )
+        if value is not None
+    }
+    if name == "all":
+        environment_report().show()
+        for key, driver in DRIVERS.items():
+            applicable = _applicable(driver, overrides)
+            result = driver(**applicable)
+            result.show()
+            if arguments.csv:
+                _append_csv(result, arguments.csv, key)
+        return 0
+    driver = DRIVERS.get(name)
+    if driver is None:
+        print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
+        return 2
+    result = driver(**_applicable(driver, overrides))
+    result.show()
+    if arguments.csv:
+        _append_csv(result, arguments.csv, name)
+    return 0
+
+
+def _append_csv(result, path: str, experiment: str) -> None:
+    """Append one experiment's rows to a CSV file, tagged by experiment id."""
+    import csv
+    import os
+
+    fresh = not os.path.exists(path)
+    with open(path, "a", newline="") as handle:
+        writer = csv.writer(handle)
+        if fresh:
+            writer.writerow(["experiment", "title", *map(str, result.headers)])
+        for row in result.rows:
+            writer.writerow([experiment, result.title, *row])
+
+
+def _applicable(driver: object, overrides: dict[str, int]) -> dict[str, int]:
+    """Keep only the overrides the driver's signature accepts."""
+    import inspect
+
+    parameters = inspect.signature(driver).parameters  # type: ignore[arg-type]
+    return {key: value for key, value in overrides.items() if key in parameters}
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

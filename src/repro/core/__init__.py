@@ -1,0 +1,32 @@
+"""The paper's primary contribution: index-based k-anonymization.
+
+:class:`~repro.core.anonymizer.RTreeAnonymizer` wraps the R+-tree into an
+anonymization service: bulk-load a table (buffer-tree, §2.1), insert or
+delete records incrementally (§2.2), and emit k-anonymous tables at any
+granularity ``k1 >= base k`` via the leaf-scan algorithm (§3.2) — all while
+the tree's occupancy invariant keeps every emitted partition at least
+``k`` strong.  The compaction procedure (§4) and the multi-granular release
+machinery (§3) live here too.
+"""
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.compaction import compact_partitions, compact_table
+from repro.core.leafscan import leaf_scan
+from repro.core.multigranular import (
+    hierarchical_granularities,
+    hierarchical_release,
+    verify_k_bound,
+)
+from repro.core.partition import AnonymizedTable, Partition
+
+__all__ = [
+    "AnonymizedTable",
+    "Partition",
+    "RTreeAnonymizer",
+    "compact_partitions",
+    "compact_table",
+    "hierarchical_granularities",
+    "hierarchical_release",
+    "leaf_scan",
+    "verify_k_bound",
+]

@@ -1,0 +1,182 @@
+"""The leaf-scan algorithm (Figure 5, §3.2).
+
+Given the spatially ordered leaf nodes of the index (each already holding
+at least the base ``k`` records) and a requested granularity ``k1``, scan
+the leaves in order and concatenate *whole leaves* into partitions until
+each partition holds at least ``k1`` records; fold a too-small tail into the
+final partition.
+
+Because every partition is a union of whole leaves, every record stays
+"bound" (Definition 2) to its leaf-mates, so any collection of leaf-scan
+releases at different granularities preserves the base k-anonymity
+(Lemma 1).  And because the scan is a single pass over the leaves, its cost
+is independent of ``k1`` — which is why the R+-tree curve in Figure 7(a)
+is flat across anonymity levels.
+
+An optional ``constraint`` predicate generalizes the stopping rule: a
+partition closes only once it holds ``k1`` records *and* satisfies the
+constraint (e.g. distinct l-diversity), implementing the paper's remark
+that "the R-tree splitting routine can incorporate, for example,
+(α,k)-anonymity or l-diversity just as easily as vanilla k-anonymity".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.dataset.record import Record
+from repro.index.node import Cut, InternalNode, LeafNode
+
+if TYPE_CHECKING:
+    from repro.index.rtree import RPlusTree
+
+#: A partition-acceptance predicate (e.g. an l-diversity check).
+Constraint = Callable[[Sequence[Record]], bool]
+
+
+def leaf_scan(
+    leaf_groups: Sequence[Sequence[Record]],
+    k1: int,
+    constraint: Constraint | None = None,
+) -> list[list[Record]]:
+    """Regroup ordered leaf record groups into partitions of at least ``k1``.
+
+    ``leaf_groups`` must be the index leaves in sequential (spatial) order;
+    each group is consumed whole.  Raises ``ValueError`` when the total
+    record count cannot support a single partition of ``k1`` records, or
+    when the constraint cannot be satisfied even by the union of everything.
+    """
+    if k1 < 1:
+        raise ValueError("granularity k1 must be at least 1")
+    total = sum(len(group) for group in leaf_groups)
+    if total < k1:
+        raise ValueError(
+            f"cannot form a {k1}-anonymous release from {total} records"
+        )
+
+    def satisfied(records: list[Record]) -> bool:
+        if len(records) < k1:
+            return False
+        return constraint is None or constraint(records)
+
+    partitions: list[list[Record]] = []
+    current: list[Record] = []
+    remaining = total
+    for group in leaf_groups:
+        current.extend(group)
+        remaining -= len(group)
+        if satisfied(current):
+            # LS4: if the leftover tail cannot form its own partition, keep
+            # absorbing it into this (final) one instead of closing now.
+            if 0 < remaining < k1:
+                continue
+            partitions.append(current)
+            current = []
+    if current:
+        if satisfied(current):
+            partitions.append(current)
+        elif partitions:
+            partitions[-1].extend(current)
+        else:
+            raise ValueError(
+                "the constraint cannot be satisfied even by a single "
+                "partition holding every record"
+            )
+    return partitions
+
+
+def subtree_scan(
+    tree: "RPlusTree",
+    k1: int,
+    constraint: Constraint | None = None,
+) -> list[list[Record]]:
+    """Regroup leaves into partitions of at least ``k1``, aligned with the cuts.
+
+    A quality-improving refinement of :func:`leaf_scan` with the identical
+    privacy guarantee: partitions are still unions of whole leaves taken in
+    the tree's sequential order, so every record stays bound to its
+    leaf-mates (Lemma 1 applies unchanged).  The difference is *where* group
+    boundaries fall — on the boundaries of the binary cut hierarchy whenever
+    possible, so that a group's records span a contiguous axis-aligned
+    region and its minimum bounding box stays disjoint from its neighbours'.
+    The purely sequential Figure 5 scan can chain leaves across cut
+    boundaries, producing L-shaped unions whose bounding boxes overlap and
+    measurably inflate COUNT-query error (see the ablation bench).
+
+    The rule: walk the global cut hierarchy depth-first; emit any subtree
+    whose record count (plus any carried small remainder) lands in
+    ``[k1, 2*k1)`` and satisfies the constraint; recurse into larger
+    subtrees; carry smaller ones into the next group.
+    """
+    if k1 < 1:
+        raise ValueError("granularity k1 must be at least 1")
+    if tree.root is None or len(tree) < k1:
+        raise ValueError(
+            f"cannot form a {k1}-anonymous release from {len(tree)} records"
+        )
+
+    def satisfied(records: list[Record]) -> bool:
+        if len(records) < k1:
+            return False
+        return constraint is None or constraint(records)
+
+    groups: list[list[Record]] = []
+    carry: list[Record] = []
+
+    def records_under(item: object) -> list[Record]:
+        if isinstance(item, LeafNode):
+            return list(item.records)
+        if isinstance(item, InternalNode):
+            return records_under(item.cuts.inner)
+        assert isinstance(item, Cut)
+        return records_under(item.left.inner) + records_under(item.right.inner)
+
+    def count_under(item: object) -> int:
+        if isinstance(item, LeafNode):
+            return len(item.records)
+        if isinstance(item, InternalNode):
+            return count_under(item.cuts.inner)
+        assert isinstance(item, Cut)
+        return count_under(item.left.inner) + count_under(item.right.inner)
+
+    def walk(item: object) -> None:
+        nonlocal carry
+        if isinstance(item, InternalNode):
+            walk(item.cuts.inner)
+            return
+        if isinstance(item, LeafNode):
+            candidate = carry + list(item.records)
+            if satisfied(candidate):
+                groups.append(candidate)
+                carry = []
+            else:
+                carry = candidate
+            return
+        assert isinstance(item, Cut)
+        total = len(carry) + count_under(item)
+        if total < k1:
+            carry.extend(records_under(item))
+            return
+        if total < 2 * k1:
+            candidate = carry + records_under(item)
+            if satisfied(candidate):
+                groups.append(candidate)
+                carry = []
+            else:
+                carry = candidate
+            return
+        walk(item.left.inner)
+        walk(item.right.inner)
+
+    walk(tree.root)
+    if carry:
+        if satisfied(carry):
+            groups.append(carry)
+        elif groups:
+            groups[-1].extend(carry)
+        else:
+            raise ValueError(
+                "the constraint cannot be satisfied even by a single "
+                "partition holding every record"
+            )
+    return groups

@@ -1,0 +1,32 @@
+"""Datasets: schemas, tables, record I/O and the two paper workload generators.
+
+The paper evaluates on (a) the proprietary Lands End sales table (4,591,581
+records, eight attributes, 32-byte records) and (b) a synthetic table from
+the Agrawal et al. generator (100 million records, nine attributes, 36-byte
+records).  Neither is distributable, so this package provides faithful
+synthetic substitutes — see DESIGN.md for the substitution rationale — plus
+the schema/table/record plumbing everything else builds on.
+"""
+
+from repro.dataset.agrawal import AgrawalGenerator, make_agrawal_table
+from repro.dataset.io import RecordFileReader, RecordFileWriter, read_table, write_table
+from repro.dataset.landsend import LandsEndGenerator, make_landsend_table
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+
+__all__ = [
+    "AgrawalGenerator",
+    "Attribute",
+    "AttributeKind",
+    "LandsEndGenerator",
+    "Record",
+    "RecordFileReader",
+    "RecordFileWriter",
+    "Schema",
+    "Table",
+    "make_agrawal_table",
+    "make_landsend_table",
+    "read_table",
+    "write_table",
+]

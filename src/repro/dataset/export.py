@@ -1,0 +1,147 @@
+"""Publishing anonymized tables: CSV export with hierarchy-aware rendering.
+
+A release only matters once it leaves the process.  This module writes an
+:class:`~repro.core.partition.AnonymizedTable` in the format of the paper's
+Figure 1(b): one row per record, quasi-identifier columns carrying
+generalized values (numeric intervals like ``[20 - 30]``, or hierarchy
+labels like ``Midwest`` when the schema attaches a hierarchy), sensitive
+columns passed through verbatim, plus a partition id so recipients can
+reconstruct equivalence classes.
+
+The loader reads such a file back into interval form for auditing —
+round-tripping the *published* information, which by design is less than
+the original (hierarchy labels decode to their code intervals; exact
+member points are gone, as they should be).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.compaction import describe_partition
+from repro.core.partition import AnonymizedTable
+from repro.dataset.schema import AttributeKind, Schema
+from repro.geometry.box import Box
+
+#: Column name for the equivalence-class identifier.
+PARTITION_COLUMN = "partition"
+
+
+def release_rows(table: AnonymizedTable) -> Iterator[list[str]]:
+    """Yield the published rows (header first) as lists of strings."""
+    schema = table.schema
+    yield [PARTITION_COLUMN, *schema.names(), *schema.sensitive]
+    for index, partition in enumerate(table.partitions):
+        generalized = describe_partition(partition, schema)
+        for record in partition.records:
+            yield [
+                str(index),
+                *generalized,
+                *(str(value) for value in record.sensitive),
+            ]
+
+
+def write_release_csv(table: AnonymizedTable, path: str | Path) -> int:
+    """Write the release to CSV; returns the number of data rows written."""
+    count = -1  # discount the header
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in release_rows(table):
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+class PublishedRelease:
+    """A release read back from CSV: intervals, partition sizes, sensitive values.
+
+    The reader recovers what a *data recipient* can see — enough to run
+    COUNT queries, recompute partition sizes, or audit the k floor, but
+    (by construction) not the original points.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        boxes: list[Box],
+        sizes: list[int],
+        sensitive_rows: list[tuple[str, ...]],
+    ) -> None:
+        self.schema = schema
+        self.boxes = boxes
+        self.sizes = sizes
+        self.sensitive_rows = sensitive_rows
+
+    @property
+    def record_count(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def k_effective(self) -> int:
+        return min(self.sizes)
+
+    def count_query(self, box: Box) -> int:
+        """The §5.4 COUNT semantics on the published boxes."""
+        return sum(
+            size
+            for published, size in zip(self.boxes, self.sizes)
+            if published.intersects(box)
+        )
+
+
+def read_release_csv(path: str | Path, schema: Schema) -> PublishedRelease:
+    """Parse a published CSV back into per-partition boxes and sizes."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        expected = [PARTITION_COLUMN, *schema.names(), *schema.sensitive]
+        if header != expected:
+            raise ValueError(
+                f"{path}: header {header} does not match schema {expected}"
+            )
+        partition_boxes: dict[int, Box] = {}
+        sizes: dict[int, int] = {}
+        sensitive_rows: list[tuple[str, ...]] = []
+        qi_count = schema.dimensions
+        for row in reader:
+            partition_id = int(row[0])
+            if partition_id not in partition_boxes:
+                partition_boxes[partition_id] = _parse_box(
+                    row[1 : 1 + qi_count], schema
+                )
+            sizes[partition_id] = sizes.get(partition_id, 0) + 1
+            sensitive_rows.append(tuple(row[1 + qi_count :]))
+    ordered = sorted(partition_boxes)
+    return PublishedRelease(
+        schema,
+        [partition_boxes[i] for i in ordered],
+        [sizes[i] for i in ordered],
+        sensitive_rows,
+    )
+
+
+def _parse_box(cells: list[str], schema: Schema) -> Box:
+    lows: list[float] = []
+    highs: list[float] = []
+    for cell, attribute in zip(cells, schema.quasi_identifiers):
+        if (
+            attribute.kind is AttributeKind.CATEGORICAL
+            and attribute.hierarchy is not None
+        ):
+            # A hierarchy label decodes to the code interval of its leaves.
+            node = attribute.hierarchy.node(cell)
+            ordering = attribute.hierarchy.ordering()
+            codes = [ordering[leaf.label] for leaf in node.iter_leaves()]
+            lows.append(float(min(codes)))
+            highs.append(float(max(codes)))
+        elif cell.startswith("["):
+            low_text, high_text = cell.strip("[]").split(" - ")
+            lows.append(float(low_text))
+            highs.append(float(high_text))
+        else:
+            value = float(cell)
+            lows.append(value)
+            highs.append(value)
+    return Box(tuple(lows), tuple(highs))

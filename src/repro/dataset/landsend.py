@@ -1,0 +1,158 @@
+"""Synthetic stand-in for the Lands End sales data set.
+
+The paper's first workload is a proprietary catalogue-sales table with
+4,591,581 records over eight attributes — *zipcode, order date, gender,
+style, price, quantity, cost, shipment* — with every categorical recoded to
+an integer by an intuitive ordering, giving 32-byte (8 x int32) records.
+
+That data cannot be redistributed, so this generator produces a table with
+the same schema and the joint-distribution features the experiments are
+sensitive to:
+
+* **zipcode** is spatially clustered: customers concentrate around a few
+  dozen metropolitan centers, so zipcode carries most of the "spatial"
+  structure the biased-split experiment (Figure 12(c)) exploits;
+* **style** follows a Zipf-like popularity curve over the catalogue;
+* **price** is log-normal-ish and correlated with style (each style has a
+  base price);
+* **cost** is derived from price x quantity with margin noise, so price and
+  cost are strongly correlated — correlated attribute pairs are what make
+  multidimensional partitioning beat single-attribute recoding;
+* **gender**, **shipment** are low-cardinality categoricals with skewed
+  marginals;
+* **order date** spans ten years with mild seasonality.
+
+Every attribute is emitted as a non-negative integer, matching the paper's
+numerical recoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+
+#: Attribute order matches the paper's listing.
+LANDSEND_ATTRIBUTES = (
+    "zipcode",
+    "order_date",
+    "gender",
+    "style",
+    "price",
+    "quantity",
+    "cost",
+    "shipment",
+)
+
+_ZIP_LOW, _ZIP_HIGH = 501, 99_950
+_DATE_DAYS = 3_650  # ten years of order dates
+_GENDERS = 3  # female / male / unspecified
+_STYLES = 1_000
+_PRICE_HIGH = 500
+_QUANTITY_HIGH = 12
+_COST_HIGH = 6_000
+_SHIPMENTS = 5
+
+
+def landsend_schema() -> Schema:
+    """The eight-attribute Lands End schema, integer-coded."""
+    return Schema(
+        (
+            Attribute.numeric("zipcode", _ZIP_LOW, _ZIP_HIGH),
+            Attribute.numeric("order_date", 0, _DATE_DAYS),
+            Attribute(
+                "gender", AttributeKind.CATEGORICAL, 0, _GENDERS - 1, hierarchy=None
+            ),
+            Attribute.numeric("style", 0, _STYLES - 1),
+            Attribute.numeric("price", 1, _PRICE_HIGH),
+            Attribute.numeric("quantity", 1, _QUANTITY_HIGH),
+            Attribute.numeric("cost", 1, _COST_HIGH),
+            Attribute(
+                "shipment", AttributeKind.CATEGORICAL, 0, _SHIPMENTS - 1, hierarchy=None
+            ),
+        )
+    )
+
+
+class LandsEndGenerator:
+    """Reproducible generator of Lands End-like sales records.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds produce identical record streams.
+    clusters:
+        Number of metropolitan zipcode clusters.
+    """
+
+    def __init__(self, seed: int = 0, clusters: int = 40) -> None:
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        # Fixed per-generator "geography": cluster centers, weights, spreads.
+        self._centers = rng.integers(_ZIP_LOW + 2_000, _ZIP_HIGH - 2_000, clusters)
+        weights = rng.pareto(1.5, clusters) + 0.1
+        self._weights = weights / weights.sum()
+        self._spreads = rng.integers(50, 900, clusters)
+        # Each catalogue style has a base price; popular styles are cheaper.
+        ranks = np.arange(1, _STYLES + 1)
+        self._style_popularity = (1.0 / ranks**0.9) / np.sum(1.0 / ranks**0.9)
+        self._style_base_price = np.clip(
+            rng.lognormal(3.4, 0.7, _STYLES), 1, _PRICE_HIGH
+        )
+
+    @property
+    def schema(self) -> Schema:
+        return landsend_schema()
+
+    def generate_points(self, count: int, stream_offset: int = 0) -> np.ndarray:
+        """Generate ``count`` records as an ``(count, 8)`` int64 array.
+
+        ``stream_offset`` makes successive calls produce disjoint,
+        reproducible slices of one infinite stream (used by the incremental
+        benches to draw batch after batch).
+        """
+        rng = np.random.default_rng((self._seed, stream_offset))
+        cluster = rng.choice(len(self._centers), count, p=self._weights)
+        zipcode = np.clip(
+            rng.normal(self._centers[cluster], self._spreads[cluster]).astype(np.int64),
+            _ZIP_LOW,
+            _ZIP_HIGH,
+        )
+        day = rng.integers(0, _DATE_DAYS, count)
+        seasonal_boost = rng.random(count) < 0.25
+        # A quarter of orders land in the holiday window of their year.
+        day = np.where(seasonal_boost, (day // 365) * 365 + rng.integers(300, 365, count), day)
+        gender = rng.choice(_GENDERS, count, p=[0.55, 0.40, 0.05])
+        style = rng.choice(_STYLES, count, p=self._style_popularity)
+        price = np.clip(
+            (self._style_base_price[style] * rng.lognormal(0.0, 0.25, count)).astype(
+                np.int64
+            ),
+            1,
+            _PRICE_HIGH,
+        )
+        quantity = np.clip(rng.geometric(0.55, count), 1, _QUANTITY_HIGH)
+        cost = np.clip(
+            (price * quantity * rng.uniform(0.55, 0.8, count)).astype(np.int64),
+            1,
+            _COST_HIGH,
+        )
+        shipment = rng.choice(_SHIPMENTS, count, p=[0.5, 0.25, 0.13, 0.08, 0.04])
+        return np.column_stack(
+            [zipcode, day, gender, style, price, quantity, cost, shipment]
+        )
+
+    def generate(self, count: int, stream_offset: int = 0, first_rid: int = 0) -> Table:
+        """Generate ``count`` records as a :class:`Table`."""
+        points = self.generate_points(count, stream_offset)
+        table = Table(self.schema)
+        for offset, row in enumerate(points):
+            table.append(Record(first_rid + offset, tuple(float(v) for v in row)))
+        return table
+
+
+def make_landsend_table(count: int, seed: int = 0) -> Table:
+    """Convenience: a fresh Lands End-like table of ``count`` records."""
+    return LandsEndGenerator(seed).generate(count)

@@ -1,0 +1,30 @@
+"""The record type threaded through indexing and anonymization.
+
+A :class:`Record` pairs a point in quasi-identifier space with a stable
+record id and the (untouched) sensitive values.  The id is what lets the
+anonymizer publish a generalized table in which each output row carries the
+original row's sensitive values, and what the deletion path of the index
+uses to identify the record to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One table row: ``rid`` identity, ``point`` quasi-identifiers, payload."""
+
+    rid: int
+    point: tuple[float, ...]
+    sensitive: tuple[Hashable, ...] = ()
+
+    def value(self, dimension: int) -> float:
+        """The quasi-identifier value along one dimension."""
+        return self.point[dimension]
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.point)

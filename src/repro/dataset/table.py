@@ -1,0 +1,128 @@
+"""In-memory tables of records.
+
+A :class:`Table` is the unanonymized input: a schema plus a list of
+:class:`~repro.dataset.record.Record`.  It offers the handful of operations
+the experiments need — batching for incremental anonymization, sampling for
+the compaction-cost sweep, domain boxes for the index root, and attribute
+ranges for metric normalization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.dataset.record import Record
+from repro.dataset.schema import Schema
+from repro.geometry.box import Box
+
+
+class Table:
+    """A schema plus an ordered collection of records."""
+
+    def __init__(self, schema: Schema, records: Iterable[Record] = ()) -> None:
+        self._schema = schema
+        self._records: list[Record] = []
+        for record in records:
+            self.append(record)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_points(
+        cls,
+        schema: Schema,
+        points: Iterable[Sequence[float]],
+        sensitive: Iterable[Sequence[object]] | None = None,
+    ) -> "Table":
+        """Build a table from bare points, assigning sequential rids."""
+        table = cls(schema)
+        if sensitive is None:
+            for rid, point in enumerate(points):
+                table.append(Record(rid, tuple(float(v) for v in point)))
+        else:
+            for rid, (point, payload) in enumerate(zip(points, sensitive)):
+                table.append(
+                    Record(rid, tuple(float(v) for v in point), tuple(payload))
+                )
+        return table
+
+    def append(self, record: Record) -> None:
+        """Add one record, validating its dimensionality."""
+        if len(record.point) != self._schema.dimensions:
+            raise ValueError(
+                f"record {record.rid} has {len(record.point)} quasi-identifier "
+                f"values, schema expects {self._schema.dimensions}"
+            )
+        self._records.append(record)
+
+    # -- basic access --------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def records(self) -> list[Record]:
+        """The record list (treat as read-only)."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    # -- derived views -------------------------------------------------------
+
+    def points(self) -> list[tuple[float, ...]]:
+        """All quasi-identifier points, in record order."""
+        return [record.point for record in self._records]
+
+    def extent(self) -> Box:
+        """Minimum bounding box of the actual data (not the declared domain)."""
+        if not self._records:
+            raise ValueError("cannot compute the extent of an empty table")
+        return Box.from_points(record.point for record in self._records)
+
+    def domain_box(self) -> Box:
+        """The declared attribute domains as a box (the index root region)."""
+        return Box(self._schema.domain_lows(), self._schema.domain_highs())
+
+    def attribute_ranges(self) -> tuple[float, ...]:
+        """``|T.A_i|`` per attribute: the data range used by NCP normalization.
+
+        Zero-width attributes (every record identical) are reported as 0; the
+        certainty metric treats any generalization of such an attribute as
+        costless, since no precision can be lost.
+        """
+        extent = self.extent()
+        return extent.extents()
+
+    # -- slicing for experiments ---------------------------------------------
+
+    def sample(self, count: int, seed: int = 0) -> "Table":
+        """A reproducible uniform sample of ``count`` records (without replacement)."""
+        if count > len(self._records):
+            raise ValueError(f"cannot sample {count} of {len(self._records)} records")
+        rng = random.Random(seed)
+        chosen = rng.sample(self._records, count)
+        return Table(self._schema, chosen)
+
+    def head(self, count: int) -> "Table":
+        """The first ``count`` records, preserving order."""
+        return Table(self._schema, self._records[:count])
+
+    def batches(self, batch_size: int) -> Iterator["Table"]:
+        """Split into consecutive batches (the incremental-update workload).
+
+        The final batch may be smaller.  Mirrors the paper's 0.5M-record
+        batch protocol for Figure 7(b) and Figure 11.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        for start in range(0, len(self._records), batch_size):
+            yield Table(self._schema, self._records[start : start + batch_size])

@@ -1,0 +1,12 @@
+"""n-dimensional axis-aligned geometry used by the spatial index.
+
+The anonymization machinery treats every record as a point in the
+quasi-identifier space and every partition (index node, equivalence class)
+as an axis-aligned box.  :class:`~repro.geometry.box.Box` is the single
+geometric primitive shared by the R+-tree, the Mondrian baseline, the
+compaction procedure, the quality metrics and the query machinery.
+"""
+
+from repro.geometry.box import Box, bounding_box, union_all
+
+__all__ = ["Box", "bounding_box", "union_all"]

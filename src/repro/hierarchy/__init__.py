@@ -1,0 +1,13 @@
+"""Generalization hierarchies for categorical quasi-identifier attributes.
+
+The paper's experiments recode categorical attributes to integers, but the
+compaction procedure (§4) and the certainty-penalty metric (Definition 4)
+are both defined for hierarchy-backed categorical attributes as well: the
+compaction of a categorical column is the lowest common ancestor of the
+occurring values, and the NCP of a generalized value is the fraction of
+hierarchy leaves under it.  This subpackage provides that machinery.
+"""
+
+from repro.hierarchy.tree import GeneralizationHierarchy, HierarchyNode
+
+__all__ = ["GeneralizationHierarchy", "HierarchyNode"]

@@ -1,0 +1,238 @@
+"""Generalization hierarchy trees.
+
+A :class:`GeneralizationHierarchy` is a rooted tree whose leaves are the
+ground values of a categorical attribute and whose internal nodes are
+progressively coarser generalizations (``Madison -> Dane County ->
+Wisconsin -> Midwest -> USA``).  Two operations matter for anonymization:
+
+* *lowest common ancestor* of a set of ground values — this is exactly what
+  the compaction procedure (§4) publishes for a categorical column of a
+  partition ("the procedure chooses the lowest common ancestor in the
+  hierarchy for all the values in P");
+* *leaf counting* — the certainty penalty (Definition 4) charges a
+  generalized categorical value ``|t.A_i| / |T.A_i|`` where ``|t.A_i|`` is
+  the number of hierarchy leaves under the generalized node.
+
+The hierarchy also supplies the "intuitive ordering" the paper imposes to
+recode categoricals numerically: a left-to-right depth-first traversal
+enumerates the leaves so that values that share low ancestors receive
+adjacent codes, making interval generalizations of the codes meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping, Sequence
+
+Value = Hashable
+
+
+@dataclass
+class HierarchyNode:
+    """One node in a generalization hierarchy.
+
+    ``label`` is the published generalized value; leaves carry ground
+    attribute values as their labels.
+    """
+
+    label: Value
+    children: list["HierarchyNode"] = field(default_factory=list)
+    parent: "HierarchyNode | None" = field(default=None, repr=False, compare=False)
+    depth: int = 0
+    _leaf_count: int = field(default=0, repr=False, compare=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of ground values generalized by this node."""
+        return self._leaf_count
+
+    def iter_leaves(self) -> Iterator["HierarchyNode"]:
+        """Yield leaf nodes under this node in left-to-right order."""
+        if self.is_leaf:
+            yield self
+            return
+        for child in self.children:
+            yield from child.iter_leaves()
+
+    def ancestors(self) -> Iterator["HierarchyNode"]:
+        """Yield this node, then its parent chain up to the root."""
+        node: HierarchyNode | None = self
+        while node is not None:
+            yield node
+            node = node.parent
+
+
+class GeneralizationHierarchy:
+    """A rooted generalization tree over the ground values of one attribute.
+
+    Construct either from a nested-mapping specification::
+
+        hierarchy = GeneralizationHierarchy.from_spec(
+            "Any", {"Midwest": {"WI": ["53706", "53715"], "IL": ["60601"]},
+                    "South": {"TX": ["73301"]}}
+        )
+
+    or from explicit parent links via :meth:`from_parents`.
+    """
+
+    def __init__(self, root: HierarchyNode) -> None:
+        self._root = root
+        self._leaves: dict[Value, HierarchyNode] = {}
+        self._finalize(root, None, 0)
+        if not self._leaves:
+            raise ValueError("hierarchy has no leaves")
+
+    def _finalize(
+        self, node: HierarchyNode, parent: HierarchyNode | None, depth: int
+    ) -> int:
+        node.parent = parent
+        node.depth = depth
+        if node.is_leaf:
+            if node.label in self._leaves:
+                raise ValueError(f"duplicate ground value {node.label!r}")
+            self._leaves[node.label] = node
+            node._leaf_count = 1
+            return 1
+        total = 0
+        for child in node.children:
+            total += self._finalize(child, node, depth + 1)
+        node._leaf_count = total
+        return total
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, root_label: Value, spec: object) -> "GeneralizationHierarchy":
+        """Build from nested mappings/sequences.
+
+        Mappings become internal nodes (keys are labels, values recurse);
+        sequences become lists of leaves; scalars become single leaves.
+        """
+        return cls(cls._node_from_spec(root_label, spec))
+
+    @staticmethod
+    def _node_from_spec(label: Value, spec: object) -> HierarchyNode:
+        node = HierarchyNode(label)
+        if isinstance(spec, Mapping):
+            for child_label, child_spec in spec.items():
+                node.children.append(
+                    GeneralizationHierarchy._node_from_spec(child_label, child_spec)
+                )
+        elif isinstance(spec, Sequence) and not isinstance(spec, (str, bytes)):
+            for leaf_label in spec:
+                node.children.append(HierarchyNode(leaf_label))
+        else:
+            node.children.append(HierarchyNode(spec))
+        return node
+
+    @classmethod
+    def from_parents(
+        cls, parents: Mapping[Value, Value], root_label: Value
+    ) -> "GeneralizationHierarchy":
+        """Build from a child-to-parent mapping (root excluded from keys)."""
+        nodes: dict[Value, HierarchyNode] = {root_label: HierarchyNode(root_label)}
+        for child in parents:
+            nodes.setdefault(child, HierarchyNode(child))
+        for child, parent in parents.items():
+            if parent not in nodes:
+                nodes[parent] = HierarchyNode(parent)
+            nodes[parent].children.append(nodes[child])
+        return cls(nodes[root_label])
+
+    @classmethod
+    def flat(cls, values: Sequence[Value], root_label: Value = "*") -> "GeneralizationHierarchy":
+        """A two-level hierarchy: a root over a flat list of ground values.
+
+        This models the paper's ``Sex`` attribute, where the only possible
+        generalization of ``{M, F}`` is ``*``.
+        """
+        return cls.from_spec(root_label, list(values))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def root(self) -> HierarchyNode:
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Maximum leaf depth."""
+        return max(leaf.depth for leaf in self._leaves.values())
+
+    def __len__(self) -> int:
+        """Number of ground values."""
+        return len(self._leaves)
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._leaves
+
+    def leaf(self, value: Value) -> HierarchyNode:
+        """The leaf node for a ground value (KeyError if unknown)."""
+        return self._leaves[value]
+
+    def node(self, label: Value) -> HierarchyNode:
+        """Find any node (leaf or internal) by label, depth-first."""
+        stack = [self._root]
+        while stack:
+            candidate = stack.pop()
+            if candidate.label == label:
+                return candidate
+            stack.extend(candidate.children)
+        raise KeyError(label)
+
+    def lowest_common_ancestor(self, values: Sequence[Value]) -> HierarchyNode:
+        """The LCA node of a non-empty set of ground values.
+
+        This is the compaction procedure's categorical rule: the most
+        precise single generalization covering every occurring value.
+        """
+        if not values:
+            raise ValueError("cannot generalize an empty set of values")
+        distinct = set(values)
+        iterator = iter(distinct)
+        current = self._leaves[next(iterator)]
+        ancestor_chain = list(current.ancestors())
+        ancestor_set = {id(node): position for position, node in enumerate(ancestor_chain)}
+        best = 0
+        for value in iterator:
+            node = self._leaves[value]
+            while id(node) not in ancestor_set:
+                if node.parent is None:
+                    raise ValueError(f"value {value!r} is not under the hierarchy root")
+                node = node.parent
+            best = max(best, ancestor_set[id(node)])
+        return ancestor_chain[best]
+
+    def generalization_fraction(self, values: Sequence[Value]) -> float:
+        """``leaf_count(LCA(values)) / total leaves`` — the NCP charge.
+
+        Equals 0 for a single-leaf generalization under the paper's
+        convention that an exact value costs nothing?  No: Definition 4
+        charges ``|t.A_i| / |T.A_i|`` with ``|t.A_i|`` the number of leaves
+        under the generalized node, so a single exact value costs
+        ``1/|T.A_i|``.  We follow the definition literally.
+        """
+        return self.lowest_common_ancestor(values).leaf_count / len(self)
+
+    def ordering(self) -> dict[Value, int]:
+        """Integer codes from the left-to-right leaf traversal.
+
+        This is the "intuitive ordering" recoding from §5: ground values
+        that share low ancestors receive adjacent codes, so intervals of
+        codes correspond to meaningful categorical generalizations.
+        """
+        return {
+            leaf.label: position
+            for position, leaf in enumerate(self._root.iter_leaves())
+        }
+
+    def decode_interval(self, low: int, high: int) -> HierarchyNode:
+        """Map a code interval back to the LCA of the covered ground values."""
+        ordering = self.ordering()
+        inverse = {code: value for value, code in ordering.items()}
+        covered = [inverse[code] for code in range(low, high + 1) if code in inverse]
+        return self.lowest_common_ancestor(covered)

@@ -1,0 +1,145 @@
+"""Sort-based bulk loading: Hilbert ordering and Sort-Tile-Recursive packing.
+
+These are the §2.1 alternatives the paper's authors "experimented with"
+before adopting the buffer tree — reproduced here so the ablation bench can
+compare the three loaders on time and on the quality of the partitions they
+produce.
+
+* :func:`hilbert_partitions` / :func:`hilbert_bulk_load` — sort records
+  along the Hilbert curve (Kamel & Faloutsos packing), then cut the sorted
+  run into consecutive groups of about ``2k`` records.
+* :func:`str_partitions` / :func:`str_bulk_load` — Sort-Tile-Recursive:
+  recursively slice the data with balanced axis cuts, cycling through the
+  dimensions, until groups fit in a leaf.
+
+Both functions can return bare partitions (ordered record groups — the
+anonymization-relevant output) or a full :class:`~repro.index.rtree.RPlusTree`
+built by feeding the spatially-ordered stream through the buffer-tree
+loader, which packs well because consecutive records land in the same
+leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataset.record import Record
+from repro.index.buffer_tree import BufferTreeLoader
+from repro.index.hilbert import hilbert_key, quantize
+from repro.index.rtree import RPlusTree
+from repro.index.split import best_threshold
+
+#: Grid resolution for Hilbert quantization.
+DEFAULT_HILBERT_BITS = 10
+
+
+def hilbert_sorted(
+    records: Sequence[Record],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    bits: int = DEFAULT_HILBERT_BITS,
+) -> list[Record]:
+    """Records sorted by their Hilbert key over the given domain box."""
+    return sorted(
+        records,
+        key=lambda record: hilbert_key(
+            quantize(record.point, lows, highs, bits), bits
+        ),
+    )
+
+
+def hilbert_partitions(
+    records: Sequence[Record],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    k: int,
+    bits: int = DEFAULT_HILBERT_BITS,
+) -> list[list[Record]]:
+    """Consecutive groups of ~2k records along the Hilbert curve.
+
+    Every group holds at least ``k`` records (the final remainder is merged
+    into the last full group), so the grouping is k-anonymous.
+    """
+    ordered = hilbert_sorted(records, lows, highs, bits)
+    return _chunk_with_floor(ordered, k)
+
+
+def str_partitions(
+    records: Sequence[Record], dimensions: int, k: int
+) -> list[list[Record]]:
+    """Sort-Tile-Recursive grouping: balanced axis cuts, cycling dimensions.
+
+    Greedily cuts the widest remaining group with a balanced threshold on
+    the cycling dimension (skipping dimensions made unusable by duplicates)
+    until every group holds at most ``2k`` records, with ``k`` as the hard
+    floor on both sides of every cut.
+    """
+    target = 2 * k
+    result: list[list[Record]] = []
+    stack: list[tuple[list[Record], int]] = [(list(records), 0)]
+    while stack:
+        group, start_dimension = stack.pop()
+        if len(group) <= target:
+            result.append(group)
+            continue
+        cut = None
+        for offset in range(dimensions):
+            dimension = (start_dimension + offset) % dimensions
+            found = best_threshold([r.point[dimension] for r in group], k)
+            if found is not None:
+                cut = (dimension, found[0])
+                break
+        if cut is None:
+            # Duplicates block every dimension: the group stays whole.
+            result.append(group)
+            continue
+        dimension, value = cut
+        left = [r for r in group if r.point[dimension] <= value]
+        right = [r for r in group if r.point[dimension] > value]
+        stack.append((right, dimension + 1))
+        stack.append((left, dimension + 1))
+    return result
+
+
+def hilbert_bulk_load(
+    records: Sequence[Record],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    k: int,
+    bits: int = DEFAULT_HILBERT_BITS,
+    **tree_kwargs: object,
+) -> RPlusTree:
+    """Build an R+-tree by buffer-loading the Hilbert-sorted stream."""
+    ordered = hilbert_sorted(records, lows, highs, bits)
+    tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
+    BufferTreeLoader(tree).load(ordered, charge_input=False)
+    return tree
+
+
+def str_bulk_load(
+    records: Sequence[Record],
+    dimensions: int,
+    k: int,
+    **tree_kwargs: object,
+) -> RPlusTree:
+    """Build an R+-tree by buffer-loading the STR-ordered stream."""
+    ordered = [
+        record
+        for group in str_partitions(records, dimensions, k)
+        for record in group
+    ]
+    tree = RPlusTree(dimensions, k, **tree_kwargs)  # type: ignore[arg-type]
+    BufferTreeLoader(tree).load(ordered, charge_input=False)
+    return tree
+
+
+def _chunk_with_floor(ordered: Sequence[Record], k: int) -> list[list[Record]]:
+    """Consecutive chunks of 2k records with a k-record floor on the tail."""
+    size = 2 * k
+    groups: list[list[Record]] = []
+    for start in range(0, len(ordered), size):
+        groups.append(list(ordered[start : start + size]))
+    if len(groups) > 1 and len(groups[-1]) < k:
+        tail = groups.pop()
+        groups[-1].extend(tail)
+    return groups

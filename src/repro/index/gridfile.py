@@ -1,0 +1,312 @@
+"""A grid file (Nievergelt, Hinterberger & Sevcik) over point data.
+
+§4 motivates the compaction procedure with "any index, such as the grid
+file, that does not maintain MBRs for its records": grid-file buckets are
+described by *grid cell regions* — cross products of per-dimension scale
+intervals — so the generalizations a grid-based anonymizer publishes are
+loose region boxes, exactly the kind of output compaction dramatically
+improves.  This module provides that substrate so the retrofit experiment
+can be run against a genuinely different index family.
+
+Structure, faithful to the original design:
+
+* one **linear scale** per dimension — a sorted list of split values that
+  partitions the domain into intervals;
+* a **directory** mapping each grid cell (a tuple of interval indices) to a
+  bucket; several cells may share a bucket (the classic "bucket region"
+  convexity rule is kept: a bucket's cells always form a box of cells);
+* bucket overflow splits the bucket's cell-region along one dimension at
+  the median of the bucket's records, extending that dimension's scale if
+  needed; only the overflowing bucket's records move.
+
+Grid files famously degrade in high dimensions — every new boundary
+multiplies a whole slab of directory cells — which is one reason R-trees
+won; :attr:`GridFile.directory_cells` exposes the blow-up so the ablation
+bench can report it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterator, Sequence
+
+from repro.dataset.record import Record
+from repro.geometry.box import Box
+
+#: Safety valve: refuse to grow the directory beyond this many cells.
+DEFAULT_MAX_DIRECTORY_CELLS = 2_000_000
+
+
+class GridBucket:
+    """A bucket: records plus the box of directory cells it owns."""
+
+    __slots__ = ("bucket_id", "records", "cell_lows", "cell_highs")
+
+    def __init__(
+        self, bucket_id: int, cell_lows: tuple[int, ...], cell_highs: tuple[int, ...]
+    ) -> None:
+        self.bucket_id = bucket_id
+        self.records: list[Record] = []
+        #: Inclusive bounds of the cell-index box this bucket covers.
+        self.cell_lows = cell_lows
+        self.cell_highs = cell_highs
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def cells(self) -> Iterator[tuple[int, ...]]:
+        """Every directory cell owned by this bucket."""
+        ranges = [
+            range(low, high + 1)
+            for low, high in zip(self.cell_lows, self.cell_highs)
+        ]
+        return itertools.product(*ranges)
+
+
+class GridFile:
+    """A dynamic grid file with per-dimension scales and a cell directory."""
+
+    def __init__(
+        self,
+        lows: Sequence[float],
+        highs: Sequence[float],
+        bucket_capacity: int,
+        max_directory_cells: int = DEFAULT_MAX_DIRECTORY_CELLS,
+    ) -> None:
+        if bucket_capacity < 1:
+            raise ValueError("bucket capacity must be positive")
+        if len(lows) != len(highs):
+            raise ValueError("domain lows/highs length mismatch")
+        self._lows = tuple(float(v) for v in lows)
+        self._highs = tuple(float(v) for v in highs)
+        self._dimensions = len(self._lows)
+        self._capacity = bucket_capacity
+        self._max_cells = max_directory_cells
+        #: Scales: per dimension, the sorted interior split values.
+        self._scales: list[list[float]] = [[] for _ in range(self._dimensions)]
+        root = GridBucket(0, (0,) * self._dimensions, (0,) * self._dimensions)
+        self._buckets: dict[int, GridBucket] = {0: root}
+        self._directory: dict[tuple[int, ...], int] = {(0,) * self._dimensions: 0}
+        self._next_bucket_id = 1
+        self._count = 0
+        self._next_split_dimension = 0
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        return self._dimensions
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def directory_cells(self) -> int:
+        """Total grid cells — the structure's high-dimension Achilles heel."""
+        cells = 1
+        for scale in self._scales:
+            cells *= len(scale) + 1
+        return cells
+
+    def buckets(self) -> list[GridBucket]:
+        """All buckets, ordered by their cell position (row-major)."""
+        return sorted(self._buckets.values(), key=lambda b: b.cell_lows)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _cell_of(self, point: Sequence[float]) -> tuple[int, ...]:
+        # bisect_left keeps the boundary convention aligned with splits:
+        # a value equal to a scale boundary belongs to the cell on its left
+        # (intervals are right-closed), matching the `<=` split predicate.
+        return tuple(
+            bisect.bisect_left(self._scales[d], point[d])
+            for d in range(self._dimensions)
+        )
+
+    def bucket_of(self, point: Sequence[float]) -> GridBucket:
+        """The bucket whose region contains the point."""
+        return self._buckets[self._directory[self._cell_of(point)]]
+
+    def cell_box(self, cell_lows: tuple[int, ...], cell_highs: tuple[int, ...]) -> Box:
+        """The spatial box covered by a cell-index box (bucket region)."""
+        lows = []
+        highs = []
+        for d in range(self._dimensions):
+            scale = self._scales[d]
+            lows.append(self._lows[d] if cell_lows[d] == 0 else scale[cell_lows[d] - 1])
+            highs.append(
+                self._highs[d] if cell_highs[d] == len(scale) else scale[cell_highs[d]]
+            )
+        return Box(tuple(lows), tuple(highs))
+
+    def bucket_region(self, bucket: GridBucket) -> Box:
+        """The (MBR-free) region box a grid-based anonymizer publishes."""
+        return self.cell_box(bucket.cell_lows, bucket.cell_highs)
+
+    def search(self, box: Box) -> list[Record]:
+        """All records inside the query box (directory-guided)."""
+        results: list[Record] = []
+        seen: set[int] = set()
+        for bucket in self._buckets.values():
+            if bucket.bucket_id in seen:
+                continue
+            seen.add(bucket.bucket_id)
+            if self.bucket_region(bucket).intersects(box):
+                results.extend(
+                    record
+                    for record in bucket.records
+                    if box.contains_point(record.point)
+                )
+        return results
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Insert one record, splitting the target bucket if it overflows."""
+        if len(record.point) != self._dimensions:
+            raise ValueError(
+                f"record {record.rid} has {len(record.point)} dimensions, "
+                f"grid expects {self._dimensions}"
+            )
+        bucket = self.bucket_of(record.point)
+        bucket.records.append(record)
+        self._count += 1
+        while len(bucket.records) > self._capacity:
+            if not self._split_bucket(bucket):
+                break
+            bucket = self.bucket_of(record.point)
+
+    def insert_all(self, records: Sequence[Record]) -> None:
+        for record in records:
+            self.insert(record)
+
+    # -- splitting ----------------------------------------------------------------
+
+    def _split_bucket(self, bucket: GridBucket) -> bool:
+        """Split an overflowing bucket; returns False when impossible."""
+        for offset in range(self._dimensions):
+            dimension = (self._next_split_dimension + offset) % self._dimensions
+            if self._try_split(bucket, dimension):
+                self._next_split_dimension = (dimension + 1) % self._dimensions
+                return True
+        return False
+
+    def _try_split(self, bucket: GridBucket, dimension: int) -> bool:
+        from repro.index.split import best_threshold
+
+        values = [record.point[dimension] for record in bucket.records]
+        found = best_threshold(values, 1)
+        if found is None:
+            # Every record shares one value on this dimension.
+            return False
+        boundary_value = found[0]
+        if bucket.cell_lows[dimension] == bucket.cell_highs[dimension]:
+            # The bucket owns a single cell column on this dimension: the
+            # scale itself must gain a boundary (splitting a whole slab of
+            # the directory).
+            scale = self._scales[dimension]
+            if boundary_value not in scale:
+                new_cells = (
+                    self.directory_cells // (len(scale) + 1) * (len(scale) + 2)
+                )
+                if new_cells > self._max_cells:
+                    return False
+                position = bisect.bisect_right(scale, boundary_value)
+                scale.insert(position, boundary_value)
+                self._shift_directory(dimension, position)
+        # The bucket now spans at least two cell columns on `dimension`
+        # (either it already did, or the scale split just created them);
+        # carve it at the cell boundary at or below the chosen value.
+        return self._carve(bucket, dimension, boundary_value)
+
+    def _shift_directory(self, dimension: int, position: int) -> None:
+        """A new boundary at scale index `position`: renumber cells and
+        duplicate the split slab's bucket assignments."""
+        updated: dict[tuple[int, ...], int] = {}
+        for cell, bucket_id in self._directory.items():
+            index = cell[dimension]
+            if index > position:
+                shifted = list(cell)
+                shifted[dimension] = index + 1
+                updated[tuple(shifted)] = bucket_id
+            elif index == position:
+                # The split cell column: both halves keep the old buckets.
+                updated[cell] = bucket_id
+                duplicated = list(cell)
+                duplicated[dimension] = index + 1
+                updated[tuple(duplicated)] = bucket_id
+            else:
+                updated[cell] = bucket_id
+        self._directory = updated
+        for candidate in self._buckets.values():
+            lows = list(candidate.cell_lows)
+            highs = list(candidate.cell_highs)
+            if lows[dimension] > position:
+                lows[dimension] += 1
+            if highs[dimension] >= position:
+                highs[dimension] += 1
+            candidate.cell_lows = tuple(lows)
+            candidate.cell_highs = tuple(highs)
+
+    def _carve(self, bucket: GridBucket, dimension: int, median: float) -> bool:
+        """Divide a bucket's cell box at the scale boundary <= median."""
+        scale = self._scales[dimension]
+        boundary = bisect.bisect_right(scale, median) - 1
+        # The boundary between cell `boundary` and `boundary + 1`.
+        if not (bucket.cell_lows[dimension] <= boundary < bucket.cell_highs[dimension]):
+            return False
+        split_value = scale[boundary]
+        right = GridBucket(
+            self._next_bucket_id,
+            tuple(
+                boundary + 1 if d == dimension else low
+                for d, low in enumerate(bucket.cell_lows)
+            ),
+            bucket.cell_highs,
+        )
+        self._next_bucket_id += 1
+        bucket.cell_highs = tuple(
+            boundary if d == dimension else high
+            for d, high in enumerate(bucket.cell_highs)
+        )
+        staying: list[Record] = []
+        moving: list[Record] = []
+        for record in bucket.records:
+            if record.point[dimension] <= split_value:
+                staying.append(record)
+            else:
+                moving.append(record)
+        bucket.records = staying
+        right.records = moving
+        self._buckets[right.bucket_id] = right
+        for cell in right.cells():
+            self._directory[cell] = right.bucket_id
+        return True
+
+    # -- integrity -------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify directory consistency and record placement."""
+        total = 0
+        for bucket in self._buckets.values():
+            region = self.bucket_region(bucket)
+            for record in bucket.records:
+                assert region.contains_point(record.point), (
+                    f"record {record.rid} escaped bucket {bucket.bucket_id}"
+                )
+            for cell in bucket.cells():
+                assert self._directory.get(cell) == bucket.bucket_id, (
+                    f"directory cell {cell} does not point at its bucket"
+                )
+            total += len(bucket.records)
+        assert total == self._count, "record count mismatch"
+        expected_cells = self.directory_cells
+        assert len(self._directory) == expected_cells, (
+            f"directory holds {len(self._directory)} cells, scales imply "
+            f"{expected_cells}"
+        )

@@ -1,0 +1,25 @@
+"""Anonymization quality metrics (Definitions 3-5).
+
+Three metrics, three sensitivities — the paper's Figure 10 story:
+
+* :func:`~repro.metrics.discernibility.discernibility_penalty` sees only
+  partition *sizes*, so compaction cannot move it (Figure 10(a));
+* :func:`~repro.metrics.certainty.certainty_penalty` sees box *extents*,
+  so compaction improves it (Figure 10(b));
+* :func:`~repro.metrics.kl.kl_divergence` sees the *density model* the
+  boxes imply, so compaction improves it too (Figure 10(c)).
+"""
+
+from repro.metrics.certainty import certainty_penalty, ncp
+from repro.metrics.discernibility import discernibility_penalty
+from repro.metrics.kl import kl_divergence
+from repro.metrics.quality import QualityReport, quality_report
+
+__all__ = [
+    "QualityReport",
+    "certainty_penalty",
+    "discernibility_penalty",
+    "kl_divergence",
+    "ncp",
+    "quality_report",
+]

@@ -1,0 +1,93 @@
+"""KL divergence between the original and anonymized data distributions.
+
+Kifer & Gehrke (Definition 5 cites them) compare the empirical distribution
+of the original table against the distribution the anonymized table
+*implies*.  We instantiate their partition-uniform model on the integer
+lattice the recoded attributes live on:
+
+* the original table puts probability ``multiplicity(x) / N`` on each
+  occupied cell ``x``;
+* the anonymized table spreads each partition uniformly over its published
+  box, so a cell ``x`` receives
+  ``p2(x) = sum over partitions P with x in box(P) of
+  |P| / (N * discrete_volume(box(P)))``;
+* ``KL = sum over occupied cells of p1(x) * log(p1(x) / p2(x))``.
+
+Compaction shrinks boxes, concentrating the implied mass where records
+actually sit, so compacted tables score lower — the mechanism behind
+Figure 10(c).  ``p2(x) > 0`` always holds for occupied cells because every
+record lies inside its own partition's box.
+
+The containment tests are vectorized with numpy in chunks: with thousands
+of partitions and tens of thousands of distinct cells the naive
+double loop would dominate every quality bench.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.core.partition import AnonymizedTable
+from repro.dataset.table import Table
+
+#: Cells per numpy chunk when testing containment against all partitions.
+_CHUNK = 512
+
+
+def kl_divergence(table: AnonymizedTable, original: Table) -> float:
+    """Definition 5 under the discrete partition-uniform density model."""
+    total_records = len(original)
+    if total_records == 0:
+        raise ValueError("cannot compare against an empty original table")
+    if table.record_count != total_records:
+        raise ValueError(
+            f"anonymized table holds {table.record_count} records, "
+            f"original holds {total_records}"
+        )
+    counts = Counter(record.point for record in original)
+    cells = np.array(list(counts.keys()), dtype=np.float64)
+    multiplicities = np.array(list(counts.values()), dtype=np.float64)
+
+    lows = np.array([p.box.lows for p in table.partitions], dtype=np.float64)
+    highs = np.array([p.box.highs for p in table.partitions], dtype=np.float64)
+    sizes = np.array([len(p) for p in table.partitions], dtype=np.float64)
+    volumes = np.array(
+        [p.box.discrete_volume() for p in table.partitions], dtype=np.float64
+    )
+    density = sizes / (total_records * volumes)
+
+    divergence = 0.0
+    for start in range(0, len(cells), _CHUNK):
+        block = cells[start : start + _CHUNK]
+        # contains[u, p] == True iff cell u lies in partition p's box.
+        contains = np.logical_and(
+            (block[:, None, :] >= lows[None, :, :]).all(axis=2),
+            (block[:, None, :] <= highs[None, :, :]).all(axis=2),
+        )
+        p2 = contains @ density
+        p1 = multiplicities[start : start + _CHUNK] / total_records
+        divergence += float(np.sum(p1 * np.log(p1 / p2)))
+    return divergence
+
+
+def kl_lower_bound() -> float:
+    """KL is zero exactly when the anonymized density matches the original."""
+    return 0.0
+
+
+def partition_entropy(table: AnonymizedTable) -> float:
+    """Shannon entropy (nats) of the partition-membership distribution.
+
+    A convenience diagnostic: higher entropy means records are spread over
+    more, more even partitions — loosely the "information retained" by the
+    grouping itself, independent of box extents.
+    """
+    total = table.record_count
+    entropy = 0.0
+    for partition in table.partitions:
+        share = len(partition) / total
+        entropy -= share * math.log(share)
+    return entropy

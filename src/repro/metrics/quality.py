@@ -1,0 +1,43 @@
+"""One-call quality reports combining all three metrics.
+
+The quality experiments (Figures 10 and 11) always evaluate the same
+triple — discernibility, certainty, KL divergence — over the same pairs of
+(anonymized, original) tables; this module packages that so benches and
+examples stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import AnonymizedTable
+from repro.dataset.table import Table
+from repro.metrics.certainty import certainty_penalty
+from repro.metrics.discernibility import discernibility_penalty
+from repro.metrics.kl import kl_divergence
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The three Definition 3-5 scores for one release."""
+
+    discernibility: int
+    certainty: float
+    kl: float
+    partitions: int
+    records: int
+
+    def row(self) -> tuple[float, ...]:
+        """The scores as a table row (for the bench printers)."""
+        return (self.discernibility, self.certainty, self.kl)
+
+
+def quality_report(table: AnonymizedTable, original: Table) -> QualityReport:
+    """Score one anonymized release against its original table."""
+    return QualityReport(
+        discernibility=discernibility_penalty(table),
+        certainty=certainty_penalty(table, original),
+        kl=kl_divergence(table, original),
+        partitions=len(table.partitions),
+        records=table.record_count,
+    )

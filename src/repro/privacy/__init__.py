@@ -1,0 +1,32 @@
+"""Privacy verifiers and attack simulations.
+
+Verification is deliberately separated from generation: every guarantee the
+anonymizer claims — k-anonymity of a release, l-diversity under a
+constraint, k-boundedness across multi-granular releases — is re-checked
+here from the released artifacts alone, the way an auditor (or an
+adversary) would.
+"""
+
+from repro.privacy.attack import AttackReport, intersection_attack
+from repro.privacy.kanonymity import is_k_anonymous, verify_release
+from repro.privacy.linkage import LinkageReport, linkage_attack
+from repro.privacy.registry import ReleaseRegistry, ReleaseRejected
+from repro.privacy.ldiversity import (
+    AlphaKAnonymity,
+    DistinctLDiversity,
+    EntropyLDiversity,
+)
+
+__all__ = [
+    "AlphaKAnonymity",
+    "AttackReport",
+    "DistinctLDiversity",
+    "EntropyLDiversity",
+    "LinkageReport",
+    "ReleaseRegistry",
+    "ReleaseRejected",
+    "linkage_attack",
+    "intersection_attack",
+    "is_k_anonymous",
+    "verify_release",
+]

@@ -1,0 +1,67 @@
+"""The multi-release intersection attack (the §3 threat model).
+
+An adversary holding several anonymizations of the same table can, for any
+target record, intersect the member sets of the partitions containing it
+across releases — the smaller the intersection, the closer the adversary
+gets to re-identification.  Lemma 1 says k-bound records resist: their
+candidate set never drops below k.
+
+:func:`intersection_attack` runs that exact adversary and reports the
+distribution of candidate-set sizes, so the hierarchical and leaf-scan
+release strategies can be validated (they keep the minimum at >= base k)
+and naive independent re-anonymization can be shown to fail (its minimum
+routinely collapses below k — the motivating danger of §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.partition import AnonymizedTable
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of an intersection attack over a set of releases."""
+
+    releases: int
+    records: int
+    min_candidates: int
+    mean_candidates: float
+    compromised_below: dict[int, int]
+
+    def preserves_k(self, k: int) -> bool:
+        """True when no record's candidate set fell below ``k``."""
+        return self.min_candidates >= k
+
+
+def intersection_attack(
+    releases: Sequence[AnonymizedTable],
+    thresholds: Sequence[int] = (2, 5, 10),
+) -> AttackReport:
+    """Intersect every record's partitions across all releases.
+
+    ``compromised_below[t]`` counts the records whose candidate set shrank
+    under ``t`` members — the adversary's haul at threat level ``t``.
+    """
+    if not releases:
+        raise ValueError("need at least one release to attack")
+    candidate: dict[int, frozenset[int]] = {}
+    for release in releases:
+        for partition in release.partitions:
+            members = partition.rids()
+            for rid in members:
+                existing = candidate.get(rid)
+                candidate[rid] = members if existing is None else existing & members
+    sizes = [len(group) for group in candidate.values()]
+    return AttackReport(
+        releases=len(releases),
+        records=len(candidate),
+        min_candidates=min(sizes),
+        mean_candidates=sum(sizes) / len(sizes),
+        compromised_below={
+            threshold: sum(1 for size in sizes if size < threshold)
+            for threshold in thresholds
+        },
+    )

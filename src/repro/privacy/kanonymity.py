@@ -1,0 +1,59 @@
+"""k-anonymity verification of released tables.
+
+A release is k-anonymous when every equivalence class holds at least k
+records and every record is indistinguishable from its class-mates on the
+quasi-identifiers — with interval generalization that means every member's
+point lies inside the class's published box (the class shares one box by
+construction, so containment *is* indistinguishability).
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import AnonymizedTable
+from repro.dataset.table import Table
+
+
+def is_k_anonymous(table: AnonymizedTable, k: int) -> bool:
+    """True when every partition holds at least ``k`` records."""
+    return table.k_effective >= k
+
+
+def verify_release(
+    table: AnonymizedTable, original: Table, k: int
+) -> list[str]:
+    """Audit a release against its original table; returns violation messages.
+
+    Checks: the k floor, record-count conservation, record identity
+    (exactly the original rids, no duplicates, no inventions), and box
+    containment of every member point.  An empty list means the release
+    passes.
+    """
+    problems: list[str] = []
+    if table.k_effective < k:
+        problems.append(
+            f"smallest partition holds {table.k_effective} < k={k} records"
+        )
+    if table.record_count != len(original):
+        problems.append(
+            f"release holds {table.record_count} records, "
+            f"original holds {len(original)}"
+        )
+    original_rids = {record.rid for record in original}
+    seen: set[int] = set()
+    for index, partition in enumerate(table.partitions):
+        for record in partition.records:
+            if record.rid in seen:
+                problems.append(f"record {record.rid} appears twice")
+            seen.add(record.rid)
+            if record.rid not in original_rids:
+                problems.append(
+                    f"record {record.rid} does not exist in the original table"
+                )
+            if not partition.box.contains_point(record.point):
+                problems.append(
+                    f"partition {index} box does not contain record {record.rid}"
+                )
+    missing = original_rids - seen
+    if missing:
+        problems.append(f"{len(missing)} original records are missing from the release")
+    return problems

@@ -1,0 +1,121 @@
+"""A release registry: the data owner's side of the §3 story.
+
+The hospital of §3 hands different-granularity anonymizations to different
+audiences over time.  Each release is individually k-anonymous; the danger
+is the *set* — and the set grows.  :class:`ReleaseRegistry` is the
+bookkeeping a careful data owner runs: it records every release handed
+out, re-audits each one on entry, and re-runs the intersection attack over
+the cumulative set, refusing (or flagging) a release that would let a
+colluding adversary push any record's candidate set below the pledged
+floor.
+
+The registry is deliberately algorithm-agnostic: tree-derived releases
+(leaf scans, hierarchical levels) will always pass — that is Lemma 1 —
+while independently re-anonymized tables will eventually trip the audit,
+which is precisely the §3 warning, now enforced in code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import AnonymizedTable
+from repro.dataset.table import Table
+from repro.privacy.attack import AttackReport, intersection_attack
+from repro.privacy.kanonymity import verify_release
+
+
+class ReleaseRejected(Exception):
+    """Registering the release would break the pledged anonymity floor."""
+
+
+@dataclass(frozen=True)
+class RegisteredRelease:
+    """One accepted release and its audit context."""
+
+    audience: str
+    k: int
+    table: AnonymizedTable
+
+
+class ReleaseRegistry:
+    """Tracks every anonymization released from one original table.
+
+    Parameters
+    ----------
+    original:
+        The private table the releases anonymize (used for per-release
+        audits).
+    pledge_k:
+        The anonymity floor that must survive *any* coalition of release
+        holders — normally the index's base k.
+    """
+
+    def __init__(self, original: Table, pledge_k: int) -> None:
+        if pledge_k < 1:
+            raise ValueError("the pledged k must be at least 1")
+        self._original = original
+        self._pledge_k = pledge_k
+        self._releases: list[RegisteredRelease] = []
+
+    @property
+    def pledge_k(self) -> int:
+        return self._pledge_k
+
+    def __len__(self) -> int:
+        return len(self._releases)
+
+    @property
+    def releases(self) -> tuple[RegisteredRelease, ...]:
+        return tuple(self._releases)
+
+    def register(
+        self, audience: str, release: AnonymizedTable, k: int
+    ) -> AttackReport:
+        """Audit and record a release; raises :class:`ReleaseRejected` if unsafe.
+
+        Three gates, in order:
+
+        1. the release alone must pass the full k-anonymity audit at its
+           own ``k`` (which must be at least the pledge);
+        2. the intersection attack over *all* registered releases plus
+           this one must keep every record's candidate set at or above
+           the pledge;
+        3. only then is the release recorded.
+
+        Returns the attack report for the would-be cumulative set.
+        """
+        if k < self._pledge_k:
+            raise ReleaseRejected(
+                f"release k={k} is below the pledged floor {self._pledge_k}"
+            )
+        problems = verify_release(release, self._original, k)
+        if problems:
+            raise ReleaseRejected(
+                f"release for {audience!r} fails its own audit: {problems[:3]}"
+            )
+        candidate_set = [entry.table for entry in self._releases] + [release]
+        report = intersection_attack(candidate_set, thresholds=(self._pledge_k,))
+        if not report.preserves_k(self._pledge_k):
+            raise ReleaseRejected(
+                f"registering the {audience!r} release would shrink some "
+                f"record's candidate set to {report.min_candidates} "
+                f"(< pledged {self._pledge_k}) under collusion"
+            )
+        self._releases.append(RegisteredRelease(audience, k, release))
+        return report
+
+    def audit(self) -> AttackReport:
+        """Re-run the intersection attack over everything released so far."""
+        if not self._releases:
+            raise ValueError("no releases registered yet")
+        return intersection_attack(
+            [entry.table for entry in self._releases],
+            thresholds=(self._pledge_k,),
+        )
+
+    def is_safe(self) -> bool:
+        """True when the cumulative set still honours the pledge."""
+        if not self._releases:
+            return True
+        return self.audit().preserves_k(self._pledge_k)

@@ -1,0 +1,33 @@
+"""Range COUNT queries over original and anonymized tables (§2.3, §5.4).
+
+The paper's utility yardstick: run the same multidimensional COUNT range
+query against the original points and against the anonymized boxes, and
+report the normalized error.  This package provides the query type, the
+two workload generators the paper uses (all-attribute random ranges and
+single-attribute zipcode ranges), and the evaluation/bucketing machinery
+behind Figures 12(a)-(d).
+"""
+
+from repro.query.accuracy import (
+    QueryOutcome,
+    average_error,
+    bucket_by_selectivity,
+    evaluate_workload,
+)
+from repro.query.ranges import RangeQuery, count_anonymized, count_original
+from repro.query.workload import (
+    random_range_workload,
+    single_attribute_workload,
+)
+
+__all__ = [
+    "QueryOutcome",
+    "RangeQuery",
+    "average_error",
+    "bucket_by_selectivity",
+    "count_anonymized",
+    "count_original",
+    "evaluate_workload",
+    "random_range_workload",
+    "single_attribute_workload",
+]

@@ -1,0 +1,17 @@
+"""Simulated paged storage with explicit I/O accounting.
+
+The paper's scaling experiments run against a real disk and report two
+quantities: wall-clock time (Figure 8(a)) and *the total number of explicit
+I/O system calls* (Figure 8(b)).  This subpackage reproduces the substrate:
+a paged "disk" (:class:`~repro.storage.pagefile.PageFile`) fronted by an LRU
+buffer pool (:class:`~repro.storage.buffer_pool.BufferPool`) of configurable
+memory budget.  Every page fetch that misses the pool and every dirty-page
+eviction increments a counter, so the I/O experiment measures exactly what
+the paper measured — counts, which are hardware-independent.
+"""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import Page
+from repro.storage.pagefile import IOStats, PageFile
+
+__all__ = ["BufferPool", "IOStats", "Page", "PageFile"]

@@ -1,0 +1,57 @@
+"""Fixed-capacity pages of records.
+
+A :class:`Page` is the disk-transfer unit of the simulated storage layer:
+a bounded container of items (records, in the buffer-tree's case) with a
+stable page id.  Capacity is expressed in items; the byte-level page size is
+a property of the owning :class:`~repro.storage.pagefile.PageFile`, which
+derives items-per-page from ``page_bytes // record_bytes`` — the ``B`` of
+the paper's I/O model.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+class Page(Generic[ItemT]):
+    """A bounded, identified container of items."""
+
+    __slots__ = ("page_id", "capacity", "items")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.items: list[ItemT] = []
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.items)
+
+    def append(self, item: ItemT) -> None:
+        """Add one item; raises if the page is already full."""
+        if self.is_full:
+            raise OverflowError(f"page {self.page_id} is full ({self.capacity} items)")
+        self.items.append(item)
+
+    def extend_upto(self, items: list[ItemT]) -> list[ItemT]:
+        """Absorb as many items as fit; return the leftovers."""
+        space = self.free_slots
+        self.items.extend(items[:space])
+        return items[space:]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[ItemT]:
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, {len(self.items)}/{self.capacity})"

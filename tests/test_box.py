@@ -1,0 +1,160 @@
+"""Geometry: boxes, unions, intersections, margins — unit and property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box, bounding_box, union_all
+
+
+def box(*intervals: tuple[float, float]) -> Box:
+    lows, highs = zip(*intervals)
+    return Box(lows, highs)
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self) -> None:
+        b = Box.from_point((3, 4))
+        assert b.lows == (3.0, 4.0)
+        assert b.highs == (3.0, 4.0)
+        assert b.area() == 0.0
+        assert b.margin() == 0.0
+
+    def test_from_points_bounds_all(self) -> None:
+        b = Box.from_points([(1, 9), (4, 2), (0, 5)])
+        assert b == box((0, 4), (2, 9))
+
+    def test_from_points_rejects_empty(self) -> None:
+        with pytest.raises(ValueError):
+            Box.from_points([])
+
+    def test_inverted_extent_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Box((5.0,), (4.0,))
+
+    def test_dimension_mismatch_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Box((0.0,), (1.0, 2.0))
+
+    def test_zero_dimensions_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Box((), ())
+
+
+class TestMeasures:
+    def test_area_is_product_of_extents(self) -> None:
+        assert box((0, 2), (0, 3)).area() == 6.0
+
+    def test_margin_is_sum_of_extents(self) -> None:
+        assert box((0, 2), (0, 3)).margin() == 5.0
+
+    def test_discrete_volume_counts_lattice_cells(self) -> None:
+        # [20, 30] covers 11 integers, per the paper's interval notation.
+        assert box((20, 30)).discrete_volume() == 11
+        assert box((20, 30), (5, 5)).discrete_volume() == 11
+
+    def test_center(self) -> None:
+        assert box((0, 10), (2, 4)).center() == (5.0, 3.0)
+
+    def test_extents(self) -> None:
+        assert box((0, 10), (2, 4)).extents() == (10.0, 2.0)
+
+
+class TestRelations:
+    def test_contains_point_is_closed(self) -> None:
+        b = box((0, 10), (0, 10))
+        assert b.contains_point((0, 0))
+        assert b.contains_point((10, 10))
+        assert not b.contains_point((10.5, 5))
+
+    def test_contains_box(self) -> None:
+        outer = box((0, 10), (0, 10))
+        assert outer.contains_box(box((2, 3), (2, 3)))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(box((2, 11), (2, 3)))
+
+    def test_intersects_touching_boxes(self) -> None:
+        # Closed boxes sharing only a face still intersect — the paper's
+        # record [40-50] matches a query ending at 40.
+        assert box((0, 5)).intersects(box((5, 9)))
+        assert not box((0, 5)).intersects(box((6, 9)))
+
+    def test_intersection_box(self) -> None:
+        a = box((0, 5), (0, 5))
+        b = box((3, 9), (4, 9))
+        assert a.intersection(b) == box((3, 5), (4, 5))
+        assert a.intersection(box((6, 9), (0, 5))) is None
+
+    def test_union(self) -> None:
+        assert box((0, 2)).union(box((5, 9))) == box((0, 9))
+
+    def test_union_point(self) -> None:
+        assert box((0, 2)).union_point((7,)) == box((0, 7))
+        assert box((0, 2)).union_point((1,)) == box((0, 2))
+
+    def test_enlargement(self) -> None:
+        b = box((0, 10), (0, 10))
+        assert b.enlargement((5, 5)) == 0.0
+        assert b.enlargement((12, 5)) == 2.0
+        assert b.enlargement((-1, 12)) == 3.0
+
+
+class TestHelpers:
+    def test_bounding_box(self) -> None:
+        assert bounding_box([(0, 1), (2, 3)]) == box((0, 2), (1, 3))
+
+    def test_union_all(self) -> None:
+        boxes = [box((0, 1)), box((4, 6)), box((2, 3))]
+        assert union_all(boxes) == box((0, 6))
+
+    def test_union_all_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+points = st.lists(
+    st.tuples(*(st.integers(-1000, 1000) for _ in range(3))), min_size=1, max_size=30
+)
+
+
+class TestProperties:
+    @given(points)
+    def test_mbr_contains_every_point(self, pts: list[tuple[int, ...]]) -> None:
+        mbr = Box.from_points(pts)
+        assert all(mbr.contains_point(p) for p in pts)
+
+    @given(points, points)
+    def test_union_contains_both(self, a: list, b: list) -> None:
+        ba, bb = Box.from_points(a), Box.from_points(b)
+        u = ba.union(bb)
+        assert u.contains_box(ba) and u.contains_box(bb)
+
+    @given(points, points)
+    def test_union_is_commutative(self, a: list, b: list) -> None:
+        ba, bb = Box.from_points(a), Box.from_points(b)
+        assert ba.union(bb) == bb.union(ba)
+
+    @given(points, points)
+    def test_intersection_consistent_with_intersects(self, a: list, b: list) -> None:
+        ba, bb = Box.from_points(a), Box.from_points(b)
+        overlap = ba.intersection(bb)
+        assert (overlap is not None) == ba.intersects(bb)
+        if overlap is not None:
+            assert ba.contains_box(overlap) and bb.contains_box(overlap)
+
+    @given(points)
+    def test_margin_and_area_nonnegative(self, pts: list) -> None:
+        b = Box.from_points(pts)
+        assert b.margin() >= 0.0
+        assert b.area() >= 0.0
+        assert b.discrete_volume() >= 1
+
+    @given(points, st.tuples(*(st.integers(-1000, 1000) for _ in range(3))))
+    def test_enlargement_matches_union_margin_growth(
+        self, pts: list, extra: tuple[int, ...]
+    ) -> None:
+        b = Box.from_points(pts)
+        grown = b.union_point(extra)
+        assert grown.margin() - b.margin() == pytest.approx(b.enlargement(extra))

@@ -1,0 +1,118 @@
+"""Sort-based loaders: Hilbert/Morton keys and STR partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.bulk import (
+    hilbert_bulk_load,
+    hilbert_partitions,
+    hilbert_sorted,
+    str_bulk_load,
+    str_partitions,
+)
+from repro.index.hilbert import hilbert_key, morton_key, quantize
+from tests.conftest import random_records
+
+
+class TestHilbertKey:
+    def test_one_dimension_is_identity(self) -> None:
+        assert hilbert_key([5], bits=4) == 5
+
+    def test_bijective_in_two_dimensions(self) -> None:
+        bits = 4
+        keys = {
+            hilbert_key([x, y], bits) for x in range(16) for y in range(16)
+        }
+        assert keys == set(range(16 * 16))
+
+    def test_bijective_in_three_dimensions(self) -> None:
+        bits = 3
+        keys = {
+            hilbert_key([x, y, z], bits)
+            for x in range(8)
+            for y in range(8)
+            for z in range(8)
+        }
+        assert keys == set(range(8**3))
+
+    def test_adjacent_keys_are_adjacent_cells(self) -> None:
+        """The Hilbert property: consecutive curve positions are neighbours
+        (Manhattan distance exactly 1) — the locality Morton lacks."""
+        bits = 4
+        inverse = {}
+        for x in range(16):
+            for y in range(16):
+                inverse[hilbert_key([x, y], bits)] = (x, y)
+        for key in range(16 * 16 - 1):
+            (x1, y1), (x2, y2) = inverse[key], inverse[key + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_out_of_range_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            hilbert_key([16], bits=4)
+        with pytest.raises(ValueError):
+            hilbert_key([-1], bits=4)
+        with pytest.raises(ValueError):
+            hilbert_key([], bits=4)
+
+    def test_morton_key_interleaves(self) -> None:
+        # x=0b10, y=0b01 -> interleaved MSB-first: 1,0 / 0,1 -> 0b1001
+        assert morton_key([0b10, 0b01], bits=2) == 0b1001
+
+    def test_quantize_clamps_and_scales(self) -> None:
+        assert quantize((0.0, 50.0, 100.0), (0, 0, 0), (100, 100, 100), 4) == [
+            0,
+            7,
+            15,
+        ]
+        # Degenerate domain maps to 0.
+        assert quantize((5.0,), (5,), (5,), 4) == [0]
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=4))
+    def test_hilbert_key_deterministic(self, coordinates: list[int]) -> None:
+        assert hilbert_key(coordinates, 8) == hilbert_key(coordinates, 8)
+
+
+class TestSortLoaders:
+    def test_hilbert_partitions_floor(self) -> None:
+        records = random_records(203, seed=1)
+        groups = hilbert_partitions(records, (0,) * 3, (100,) * 3, k=10)
+        assert sum(len(g) for g in groups) == 203
+        assert all(len(g) >= 10 for g in groups)
+
+    def test_hilbert_sorted_is_permutation(self) -> None:
+        records = random_records(100, seed=2)
+        ordered = hilbert_sorted(records, (0,) * 3, (100,) * 3)
+        assert sorted(r.rid for r in ordered) == list(range(100))
+
+    def test_str_partitions_floor(self) -> None:
+        records = random_records(500, seed=3)
+        groups = str_partitions(records, dimensions=3, k=10)
+        assert sum(len(g) for g in groups) == 500
+        assert all(len(g) >= 10 for g in groups)
+        assert all(len(g) <= 20 for g in groups)  # target 2k unless unsplittable
+
+    def test_str_handles_duplicates(self) -> None:
+        from repro.dataset.record import Record
+
+        records = [Record(i, (5.0, 5.0, 5.0)) for i in range(100)]
+        groups = str_partitions(records, dimensions=3, k=10)
+        assert groups == [records]  # unsplittable -> one whole group
+
+    def test_hilbert_bulk_load_builds_valid_tree(self) -> None:
+        records = random_records(600, seed=4)
+        tree = hilbert_bulk_load(
+            records, (0.0,) * 3, (100.0,) * 3, k=5,
+            domain_extents=(100.0,) * 3,
+        )
+        tree.check_invariants()
+        assert len(tree) == 600
+
+    def test_str_bulk_load_builds_valid_tree(self) -> None:
+        records = random_records(600, seed=5)
+        tree = str_bulk_load(records, dimensions=3, k=5, domain_extents=(100.0,) * 3)
+        tree.check_invariants()
+        assert len(tree) == 600

@@ -1,0 +1,118 @@
+"""The compaction procedure (§4)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compaction import (
+    compact_categorical,
+    compact_partitions,
+    compact_table,
+    compact_value_set,
+    describe_partition,
+)
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.geometry.box import Box
+from repro.hierarchy.tree import GeneralizationHierarchy
+
+
+def loose_partition(points: list[tuple[float, float]]) -> Partition:
+    records = tuple(Record(i, p) for i, p in enumerate(points))
+    return Partition(records, Box((0.0, 0.0), (100.0, 100.0)))
+
+
+class TestCompaction:
+    def test_shrinks_to_mbr(self) -> None:
+        partition = loose_partition([(10.0, 20.0), (30.0, 25.0)])
+        (compacted,) = compact_partitions([partition])
+        assert compacted.box == Box((10.0, 20.0), (30.0, 25.0))
+        assert compacted.records == partition.records
+
+    def test_never_enlarges(self) -> None:
+        partition = loose_partition([(10.0, 20.0), (30.0, 25.0)])
+        (compacted,) = compact_partitions([partition])
+        assert partition.box.contains_box(compacted.box)
+
+    def test_idempotent(self) -> None:
+        partition = loose_partition([(10.0, 20.0), (30.0, 25.0)])
+        once = compact_partitions([partition])
+        twice = compact_partitions(once)
+        assert [p.box for p in once] == [p.box for p in twice]
+
+    def test_membership_untouched(self) -> None:
+        """Compaction changes descriptions, never groupings — hence the
+        Figure 10(a) result that discernibility cannot see it."""
+        partitions = [
+            loose_partition([(1.0, 1.0), (2.0, 2.0)]),
+            loose_partition([(50.0, 50.0), (60.0, 60.0), (70.0, 70.0)]),
+        ]
+        compacted = compact_partitions(partitions)
+        assert [p.rids() for p in compacted] == [p.rids() for p in partitions]
+        assert [len(p) for p in compacted] == [2, 3]
+
+    def test_compact_table(self) -> None:
+        schema = Schema(
+            (Attribute.numeric("x", 0, 100), Attribute.numeric("y", 0, 100))
+        )
+        table = AnonymizedTable(schema, [loose_partition([(5.0, 5.0), (6.0, 8.0)])])
+        compacted = compact_table(table)
+        assert compacted.partitions[0].box == Box((5.0, 5.0), (6.0, 8.0))
+        assert compacted.schema is schema
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_compacted_box_is_minimal(self, points) -> None:
+        partition = loose_partition([(float(x), float(y)) for x, y in points])
+        (compacted,) = compact_partitions([partition])
+        # Minimality: every face of the box touches some record.
+        for dimension in range(2):
+            values = [r.point[dimension] for r in compacted.records]
+            assert compacted.box.lows[dimension] == min(values)
+            assert compacted.box.highs[dimension] == max(values)
+
+
+class TestCategoricalCompaction:
+    def test_value_set_drops_absent_values(self) -> None:
+        assert compact_value_set(["flu", "flu", "cold"]) == frozenset({"flu", "cold"})
+
+    def test_lca_generalization(self) -> None:
+        hierarchy = GeneralizationHierarchy.from_spec(
+            "*", {"respiratory": ["flu", "cold"], "trauma": ["acl", "whiplash"]}
+        )
+        assert compact_categorical(["flu", "cold"], hierarchy).label == "respiratory"
+        assert compact_categorical(["flu", "acl"], hierarchy).label == "*"
+
+    def test_describe_partition_renders_hierarchy(self) -> None:
+        hierarchy = GeneralizationHierarchy.from_spec(
+            "*", {"north": ["53706", "53715"], "south": ["73301", "73302"]}
+        )
+        schema = Schema(
+            (
+                Attribute.numeric("age", 0, 100),
+                Attribute(
+                    "zip",
+                    AttributeKind.CATEGORICAL,
+                    0,
+                    3,
+                    hierarchy=hierarchy,
+                ),
+            )
+        )
+        # Codes 0..1 are the two "north" leaves under the DFS ordering.
+        records = (Record(0, (20.0, 0.0)), Record(1, (30.0, 1.0)))
+        partition = Partition(records, Box((20.0, 0.0), (30.0, 1.0)))
+        rendered = describe_partition(partition, schema)
+        assert rendered == ["[20 - 30]", "north"]
+
+    def test_describe_degenerate_numeric(self) -> None:
+        schema = Schema((Attribute.numeric("age", 0, 100),))
+        partition = Partition((Record(0, (42.0,)),), Box((42.0,), (42.0,)))
+        assert describe_partition(partition, schema) == ["42"]

@@ -1,0 +1,114 @@
+"""The Lands End and Agrawal workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.agrawal import AGRAWAL_ATTRIBUTES, AgrawalGenerator, make_agrawal_table
+from repro.dataset.io import RecordFileReader
+from repro.dataset.landsend import (
+    LANDSEND_ATTRIBUTES,
+    LandsEndGenerator,
+    make_landsend_table,
+)
+
+
+class TestLandsEnd:
+    def test_schema_matches_paper(self) -> None:
+        generator = LandsEndGenerator()
+        assert generator.schema.names() == LANDSEND_ATTRIBUTES
+        assert generator.schema.dimensions == 8
+
+    def test_determinism(self) -> None:
+        a = LandsEndGenerator(seed=4).generate_points(100)
+        b = LandsEndGenerator(seed=4).generate_points(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self) -> None:
+        a = LandsEndGenerator(seed=4).generate_points(100)
+        b = LandsEndGenerator(seed=5).generate_points(100)
+        assert not np.array_equal(a, b)
+
+    def test_stream_offsets_are_disjoint_slices(self) -> None:
+        generator = LandsEndGenerator(seed=4)
+        a = generator.generate_points(100, stream_offset=0)
+        b = generator.generate_points(100, stream_offset=1)
+        assert not np.array_equal(a, b)
+        # Re-requesting an offset reproduces it exactly (the incremental
+        # benches rely on this).
+        assert np.array_equal(b, generator.generate_points(100, stream_offset=1))
+
+    def test_values_within_domains(self) -> None:
+        generator = LandsEndGenerator(seed=1)
+        points = generator.generate_points(5_000)
+        for dimension, attribute in enumerate(generator.schema.quasi_identifiers):
+            column = points[:, dimension]
+            assert column.min() >= attribute.domain_low
+            assert column.max() <= attribute.domain_high
+
+    def test_price_cost_correlated(self) -> None:
+        points = LandsEndGenerator(seed=1).generate_points(5_000)
+        price = points[:, 4].astype(float)
+        cost = points[:, 6].astype(float)
+        correlation = np.corrcoef(price, cost)[0, 1]
+        assert correlation > 0.5  # cost derives from price x quantity
+
+    def test_zipcodes_are_clustered(self) -> None:
+        # Clustered zipcodes: the most popular 1000-wide band holds far
+        # more than the uniform share of the records.
+        points = LandsEndGenerator(seed=1).generate_points(5_000)
+        zipcodes = points[:, 0]
+        bins = np.bincount(zipcodes // 1000, minlength=100)
+        uniform_share = len(zipcodes) / 100
+        assert bins.max() > 4 * uniform_share
+
+    def test_generate_table_rids(self) -> None:
+        table = LandsEndGenerator(seed=2).generate(10, first_rid=50)
+        assert [record.rid for record in table] == list(range(50, 60))
+
+    def test_make_landsend_table(self) -> None:
+        table = make_landsend_table(25, seed=0)
+        assert len(table) == 25
+
+
+class TestAgrawal:
+    def test_schema_matches_paper(self) -> None:
+        generator = AgrawalGenerator()
+        assert generator.schema.names() == AGRAWAL_ATTRIBUTES
+        assert generator.schema.dimensions == 9
+
+    def test_commission_dependency(self) -> None:
+        """The generator's signature rule: salary >= 75k -> commission = 0."""
+        points = AgrawalGenerator(seed=1).generate_points(5_000)
+        salary, commission = points[:, 0], points[:, 1]
+        assert (commission[salary >= 75_000] == 0).all()
+        low_paid = commission[salary < 75_000]
+        assert (low_paid >= 10_000).all() and (low_paid <= 75_000).all()
+
+    def test_hvalue_depends_on_zipcode(self) -> None:
+        points = AgrawalGenerator(seed=1).generate_points(5_000)
+        zipcode, hvalue = points[:, 5], points[:, 6]
+        for z in range(9):
+            values = hvalue[zipcode == z]
+            if len(values) == 0:
+                continue
+            assert values.min() >= 0.5 * 100_000 * (z + 1) - 1
+            assert values.max() <= 1.5 * 100_000 * (z + 1)
+
+    def test_determinism(self) -> None:
+        a = AgrawalGenerator(seed=3).generate_points(200)
+        b = AgrawalGenerator(seed=3).generate_points(200)
+        assert np.array_equal(a, b)
+
+    def test_write_file_streams_exact_count(self, tmp_path) -> None:
+        path = tmp_path / "agrawal.rec"
+        written = AgrawalGenerator(seed=2).write_file(path, 1_000, batch_size=300)
+        assert written == 1_000
+        reader = RecordFileReader(path)
+        assert len(reader) == 1_000
+        assert reader.record_bytes == 36  # the paper's 36-byte records
+
+    def test_make_agrawal_table(self) -> None:
+        table = make_agrawal_table(25, seed=0)
+        assert len(table) == 25
+        assert table.schema.dimensions == 9

@@ -1,0 +1,99 @@
+"""Generalization hierarchies: LCA, leaf counts, ordering, decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.tree import GeneralizationHierarchy
+
+
+@pytest.fixture
+def geography() -> GeneralizationHierarchy:
+    return GeneralizationHierarchy.from_spec(
+        "USA",
+        {
+            "Midwest": {"WI": ["53706", "53715", "53710"], "IL": ["60601", "60602"]},
+            "South": {"TX": ["73301"], "GA": ["30301", "30302"]},
+        },
+    )
+
+
+class TestStructure:
+    def test_leaf_count(self, geography: GeneralizationHierarchy) -> None:
+        assert len(geography) == 8
+        assert geography.root.leaf_count == 8
+        assert geography.node("Midwest").leaf_count == 5
+        assert geography.node("WI").leaf_count == 3
+        assert geography.leaf("73301").leaf_count == 1
+
+    def test_height_and_depth(self, geography: GeneralizationHierarchy) -> None:
+        assert geography.height == 3
+        assert geography.root.depth == 0
+        assert geography.leaf("53706").depth == 3
+
+    def test_contains(self, geography: GeneralizationHierarchy) -> None:
+        assert "53706" in geography
+        assert "Madison" not in geography
+
+    def test_duplicate_ground_values_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            GeneralizationHierarchy.from_spec("root", {"a": ["x"], "b": ["x"]})
+
+    def test_from_parents(self) -> None:
+        h = GeneralizationHierarchy.from_parents(
+            {"x": "left", "y": "left", "z": "right", "left": "root", "right": "root"},
+            root_label="root",
+        )
+        assert len(h) == 3
+        assert h.lowest_common_ancestor(["x", "y"]).label == "left"
+
+    def test_flat(self) -> None:
+        h = GeneralizationHierarchy.flat(["M", "F"])
+        assert len(h) == 2
+        assert h.lowest_common_ancestor(["M", "F"]).label == "*"
+
+
+class TestLCA:
+    def test_single_value_is_its_own_leaf(self, geography) -> None:
+        assert geography.lowest_common_ancestor(["53706"]).label == "53706"
+
+    def test_siblings_generalize_to_parent(self, geography) -> None:
+        assert geography.lowest_common_ancestor(["53706", "53715"]).label == "WI"
+
+    def test_cousins_generalize_higher(self, geography) -> None:
+        assert geography.lowest_common_ancestor(["53706", "60601"]).label == "Midwest"
+        assert geography.lowest_common_ancestor(["53706", "73301"]).label == "USA"
+
+    def test_duplicates_ignored(self, geography) -> None:
+        assert (
+            geography.lowest_common_ancestor(["53706", "53706", "53715"]).label == "WI"
+        )
+
+    def test_empty_rejected(self, geography) -> None:
+        with pytest.raises(ValueError):
+            geography.lowest_common_ancestor([])
+
+    def test_generalization_fraction(self, geography) -> None:
+        # WI has 3 of 8 leaves — the NCP charge of Definition 4.
+        assert geography.generalization_fraction(["53706", "53715"]) == 3 / 8
+        assert geography.generalization_fraction(["53706"]) == 1 / 8
+
+
+class TestOrdering:
+    def test_ordering_is_contiguous_within_subtrees(self, geography) -> None:
+        codes = geography.ordering()
+        assert sorted(codes.values()) == list(range(8))
+        wi = sorted(codes[v] for v in ("53706", "53715", "53710"))
+        # The "intuitive ordering": sibling leaves get adjacent codes.
+        assert wi == list(range(wi[0], wi[0] + 3))
+
+    def test_decode_interval_recovers_lca(self, geography) -> None:
+        codes = geography.ordering()
+        wi = sorted(codes[v] for v in ("53706", "53715", "53710"))
+        assert geography.decode_interval(wi[0], wi[-1]).label == "WI"
+        assert geography.decode_interval(0, 7).label == "USA"
+
+    def test_iter_leaves_matches_ordering(self, geography) -> None:
+        labels = [leaf.label for leaf in geography.root.iter_leaves()]
+        codes = geography.ordering()
+        assert labels == sorted(codes, key=codes.get)

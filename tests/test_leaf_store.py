@@ -1,0 +1,96 @@
+"""The paged leaf store: per-leaf page bookkeeping and I/O charging."""
+
+from __future__ import annotations
+
+from repro.dataset.record import Record
+from repro.index.leaf_store import LeafStore, PagedLeafStore
+from repro.index.node import LeafNode
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import PageFile
+
+
+def make_store(pool_pages: int = 16, per_page: int = 4):
+    pagefile: PageFile[Record] = PageFile(page_bytes=per_page * 10, record_bytes=10)
+    pool: BufferPool[Record] = BufferPool(pagefile, pool_pages * per_page * 10)
+    return pagefile, pool, PagedLeafStore(pool)
+
+
+def leaf_with(count: int, first_rid: int = 0) -> LeafNode:
+    leaf = LeafNode()
+    leaf.records = [
+        Record(first_rid + i, (float(i),)) for i in range(count)
+    ]
+    leaf.recompute_mbr()
+    return leaf
+
+
+class TestDefaultStore:
+    def test_noop_interface(self) -> None:
+        store = LeafStore()
+        leaf = leaf_with(3)
+        store.on_create(leaf)
+        store.on_append(leaf, leaf.records[0])
+        store.on_split(leaf, leaf_with(1), leaf_with(2))
+        store.on_rewrite(leaf)
+        store.on_dissolve(leaf)  # all no-ops, nothing to assert beyond "no crash"
+
+
+class TestPagedStore:
+    def test_appends_fill_pages(self) -> None:
+        _pagefile, _pool, store = make_store(per_page=4)
+        leaf = LeafNode()
+        for rid in range(10):
+            record = Record(rid, (float(rid),))
+            leaf.records.append(record)
+            store.on_append(leaf, record)
+        # ceil(10 / 4) = 3 pages.
+        assert len(store.pages_of(leaf)) == 3
+
+    def test_create_writes_all_pages(self) -> None:
+        _pagefile, _pool, store = make_store(per_page=4)
+        leaf = leaf_with(9)
+        store.on_create(leaf)
+        assert len(store.pages_of(leaf)) == 3
+
+    def test_split_moves_pages(self) -> None:
+        pagefile, _pool, store = make_store(per_page=4)
+        old = leaf_with(8)
+        store.on_create(old)
+        old_pages = set(store.pages_of(old))
+        left, right = leaf_with(4), leaf_with(4, first_rid=4)
+        store.on_split(old, left, right)
+        assert store.pages_of(old) == []
+        assert len(store.pages_of(left)) == 1
+        assert len(store.pages_of(right)) == 1
+        # The old leaf's pages were released from the pagefile.
+        assert all(
+            page_id not in {*store.pages_of(left), *store.pages_of(right)}
+            for page_id in old_pages
+        )
+
+    def test_rewrite_replaces_pages(self) -> None:
+        _pagefile, _pool, store = make_store(per_page=4)
+        leaf = leaf_with(8)
+        store.on_create(leaf)
+        leaf.records = leaf.records[:3]
+        store.on_rewrite(leaf)
+        assert len(store.pages_of(leaf)) == 1
+
+    def test_dissolve_frees_everything(self) -> None:
+        pagefile, _pool, store = make_store(per_page=4)
+        leaf = leaf_with(8)
+        store.on_create(leaf)
+        store.on_dissolve(leaf)
+        assert store.pages_of(leaf) == []
+
+    def test_small_pool_charges_io(self) -> None:
+        pagefile, pool, store = make_store(pool_pages=2, per_page=4)
+        leaves = [leaf_with(8, first_rid=i * 10) for i in range(6)]
+        for leaf in leaves:
+            store.on_create(leaf)
+        # Creating 6 x 2 pages through a 2-page pool must spill dirty pages.
+        assert pagefile.stats.writes > 0
+        # Revisiting the first leaf's pages now misses.
+        before = pagefile.stats.reads
+        store.on_rewrite(leaves[0])
+        assert pagefile.stats.reads > before

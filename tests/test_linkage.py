@@ -1,0 +1,100 @@
+"""Linkage attacks: quantifying what releases disclose to an external join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mondrian import mondrian_anonymize
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.compaction import compact_table
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.record import Record
+from repro.dataset.table import Table
+from repro.geometry.box import Box
+from repro.privacy.linkage import linkage_attack
+from repro.privacy.ldiversity import DistinctLDiversity
+from tests.conftest import random_records
+
+
+@pytest.fixture
+def simple_release(schema3):
+    """Two partitions: one sensitive-homogeneous, one diverse."""
+    homogeneous = tuple(
+        Record(i, (float(i), 0.0, 0.0), ("flu",)) for i in range(3)
+    )
+    diverse = tuple(
+        Record(10 + i, (50.0 + i, 50.0, 50.0), (d,))
+        for i, d in enumerate(("flu", "cancer", "acl"))
+    )
+    return AnonymizedTable(
+        schema3,
+        [
+            Partition(homogeneous, Box((0.0, 0.0, 0.0), (2.0, 0.0, 0.0))),
+            Partition(diverse, Box((50.0, 50.0, 50.0), (52.0, 50.0, 50.0))),
+        ],
+    )
+
+
+class TestLinkageAttack:
+    def test_certain_absence_from_gaps(self, simple_release) -> None:
+        outsider = Record(99, (25.0, 25.0, 25.0))
+        report = linkage_attack(simple_release, [outsider])
+        assert report.certain_absences == 1
+        assert report.absence_rate == 1.0
+
+    def test_homogeneous_partition_discloses(self, simple_release) -> None:
+        victim = Record(99, (1.0, 0.0, 0.0))  # inside the all-flu box
+        report = linkage_attack(simple_release, [victim])
+        assert report.uniquely_located == 1
+        assert report.sensitive_disclosed == 1
+
+    def test_diverse_partition_protects(self, simple_release) -> None:
+        victim = Record(99, (51.0, 50.0, 50.0))  # inside the diverse box
+        report = linkage_attack(simple_release, [victim])
+        assert report.uniquely_located == 1
+        assert report.sensitive_disclosed == 0
+
+    def test_empty_externals_rejected(self, simple_release) -> None:
+        with pytest.raises(ValueError):
+            linkage_attack(simple_release, [])
+
+    def test_compaction_increases_absence_claims(self, schema3) -> None:
+        """§4 quantified: compacting Mondrian strictly grows the set of
+        externals the adversary can prove absent."""
+        table = Table(schema3, random_records(400, seed=31))
+        release = mondrian_anonymize(table, 10)
+        compacted = compact_table(release)
+        outsiders = [
+            Record(10_000 + i, r.point)
+            for i, r in enumerate(random_records(300, seed=32))
+        ]
+        before = linkage_attack(release, outsiders)
+        after = linkage_attack(compacted, outsiders)
+        # Uncompacted Mondrian regions tile the domain: nothing is absent.
+        assert before.certain_absences == 0
+        assert after.certain_absences > 0
+
+    def test_l_diversity_caps_disclosure(self, schema3) -> None:
+        """The paper's remedy: an l-diverse release has zero
+        sensitive-homogeneous partitions, so outright disclosure is 0."""
+        # Correlated sensitive values (the risky case).
+        records = [
+            Record(
+                i,
+                (float(i % 100), float(i % 37), float(i % 53)),
+                ("flu" if i % 100 < 50 else "cancer",),
+            )
+            for i in range(500)
+        ]
+        table = Table(schema3, records)
+        anonymizer = RTreeAnonymizer(table, base_k=5)
+        anonymizer.bulk_load(table)
+        diverse = anonymizer.anonymize(
+            10, constraint=DistinctLDiversity(2, sensitive_index=0)
+        )
+        externals = [Record(20_000 + i, r.point) for i, r in enumerate(records)]
+        report = linkage_attack(diverse, externals)
+        assert report.sensitive_disclosed == 0
+        # Plain release on the same data does disclose.
+        plain = anonymizer.anonymize(10)
+        assert linkage_attack(plain, externals).sensitive_disclosed > 0

@@ -1,0 +1,193 @@
+"""Quality metrics: Definitions 3, 4 and 5 — hand-checked and structural."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.compaction import compact_table
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.geometry.box import Box
+from repro.hierarchy.tree import GeneralizationHierarchy
+from repro.metrics.certainty import certainty_penalty, ncp
+from repro.metrics.discernibility import (
+    discernibility_lower_bound,
+    discernibility_penalty,
+    discernibility_per_record,
+)
+from repro.metrics.kl import kl_divergence, partition_entropy
+from repro.metrics.quality import quality_report
+
+
+@pytest.fixture
+def schema2() -> Schema:
+    return Schema((Attribute.numeric("x", 0, 10), Attribute.numeric("y", 0, 10)))
+
+
+def release_of(
+    schema: Schema, groups: list[list[tuple[float, float]]], loose: bool = False
+) -> tuple[AnonymizedTable, Table]:
+    rid = 0
+    partitions = []
+    original = Table(schema)
+    for group in groups:
+        records = []
+        for point in group:
+            record = Record(rid, point)
+            original.append(record)
+            records.append(record)
+            rid += 1
+        box = (
+            Box((0.0, 0.0), (10.0, 10.0))
+            if loose
+            else Box.from_points(r.point for r in records)
+        )
+        partitions.append(Partition(tuple(records), box))
+    return AnonymizedTable(schema, partitions), original
+
+
+class TestDiscernibility:
+    def test_hand_computed(self, schema2) -> None:
+        release, _ = release_of(
+            schema2, [[(0, 0), (1, 1)], [(5, 5), (6, 6), (7, 7)]]
+        )
+        assert discernibility_penalty(release) == 2 * 2 + 3 * 3
+
+    def test_per_record(self, schema2) -> None:
+        release, _ = release_of(schema2, [[(0, 0), (1, 1)], [(5, 5), (6, 6)]])
+        assert discernibility_per_record(release) == pytest.approx(2.0)
+
+    def test_lower_bound(self) -> None:
+        assert discernibility_lower_bound(10, 5) == 2 * 25
+        assert discernibility_lower_bound(11, 5) == 25 + 36
+        with pytest.raises(ValueError):
+            discernibility_lower_bound(3, 5)
+        with pytest.raises(ValueError):
+            discernibility_lower_bound(3, 0)
+
+    def test_blind_to_compaction(self, schema2) -> None:
+        """The Figure 10(a) fact: compaction cannot move discernibility."""
+        release, _ = release_of(schema2, [[(0, 0), (4, 4)]], loose=True)
+        assert discernibility_penalty(release) == discernibility_penalty(
+            compact_table(release)
+        )
+
+
+class TestCertainty:
+    def test_ncp_hand_computed(self) -> None:
+        # Extent 2 of range 10 on x, extent 4 of range 8 on y.
+        box = Box((1.0, 2.0), (3.0, 6.0))
+        assert ncp(box, (10.0, 8.0)) == pytest.approx(0.2 + 0.5)
+
+    def test_ncp_weighted(self) -> None:
+        box = Box((0.0, 0.0), (5.0, 4.0))
+        assert ncp(box, (10.0, 8.0), weights=(2.0, 1.0)) == pytest.approx(1.5)
+
+    def test_ncp_zero_range_attribute_costless(self) -> None:
+        box = Box((1.0, 2.0), (3.0, 2.0))
+        assert ncp(box, (10.0, 0.0)) == pytest.approx(0.2)
+
+    def test_ncp_weight_count_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            ncp(Box((0.0,), (1.0,)), (10.0,), weights=(1.0, 2.0))
+
+    def test_table_score_sums_per_record(self, schema2) -> None:
+        release, original = release_of(
+            schema2, [[(0, 0), (2, 4)], [(6, 6), (10, 8)]]
+        )
+        # Data ranges: x 0..10 -> 10, y 0..8 -> 8.
+        expected = 2 * (2 / 10 + 4 / 8) + 2 * (4 / 10 + 2 / 8)
+        assert certainty_penalty(release, original) == pytest.approx(expected)
+
+    def test_compaction_strictly_helps_on_loose_boxes(self, schema2) -> None:
+        release, original = release_of(
+            schema2, [[(1, 1), (2, 2)], [(8, 8), (9, 9)]], loose=True
+        )
+        assert certainty_penalty(compact_table(release), original) < certainty_penalty(
+            release, original
+        )
+
+    def test_hierarchy_branch(self) -> None:
+        hierarchy = GeneralizationHierarchy.from_spec(
+            "*", {"north": ["a", "b"], "south": ["c", "d"]}
+        )
+        schema = Schema(
+            (
+                Attribute(
+                    "region", AttributeKind.CATEGORICAL, 0, 3, hierarchy=hierarchy
+                ),
+            )
+        )
+        records = (Record(0, (0.0,)), Record(1, (1.0,)))
+        release = AnonymizedTable(
+            schema, [Partition(records, Box((0.0,), (1.0,)))]
+        )
+        original = Table(schema, list(records))
+        # Codes 0..1 cover the two "north" leaves: charge 2/4 per record.
+        score = certainty_penalty(release, original, use_hierarchies=True)
+        assert score == pytest.approx(2 * (2 / 4))
+
+
+class TestKL:
+    def test_zero_for_exact_release(self, schema2) -> None:
+        """Every partition degenerate (one distinct point) -> the implied
+        density equals the empirical one -> KL = 0."""
+        release, original = release_of(
+            schema2, [[(1, 1), (1, 1)], [(5, 5), (5, 5)]]
+        )
+        assert kl_divergence(release, original) == pytest.approx(0.0)
+
+    def test_positive_for_generalized_release(self, schema2) -> None:
+        release, original = release_of(schema2, [[(0, 0), (3, 4)]])
+        assert kl_divergence(release, original) > 0.0
+
+    def test_compaction_lowers_kl(self, schema2) -> None:
+        release, original = release_of(
+            schema2, [[(1, 1), (2, 2)], [(8, 8), (9, 9)]], loose=True
+        )
+        assert kl_divergence(compact_table(release), original) < kl_divergence(
+            release, original
+        )
+
+    def test_hand_computed_single_partition(self, schema2) -> None:
+        # Two records in a box of discrete volume 2x1=2: p2 = (2/2)/(2*2)?
+        # p2(cell) = |P| / (N * volume) = 2 / (2 * 2) = 0.5; p1(cell) = 0.5.
+        release, original = release_of(schema2, [[(0, 0), (1, 0)]])
+        assert kl_divergence(release, original) == pytest.approx(0.0)
+        # Now a box with a gap: volume 3, two occupied cells.
+        release, original = release_of(schema2, [[(0, 0), (2, 0)]])
+        # p1 = 1/2 per cell; p2 = 2/(2*3) = 1/3 per cell.
+        expected = 2 * 0.5 * math.log(0.5 / (1 / 3))
+        assert kl_divergence(release, original) == pytest.approx(expected)
+
+    def test_record_count_mismatch_rejected(self, schema2) -> None:
+        release, original = release_of(schema2, [[(0, 0), (1, 1)]])
+        truncated = Table(schema2, original.records[:1])
+        with pytest.raises(ValueError):
+            kl_divergence(release, truncated)
+
+    def test_partition_entropy(self, schema2) -> None:
+        release, _ = release_of(schema2, [[(0, 0), (1, 1)], [(5, 5), (6, 6)]])
+        assert partition_entropy(release) == pytest.approx(math.log(2))
+
+
+class TestQualityReport:
+    def test_report_bundles_all_three(self, schema2) -> None:
+        release, original = release_of(schema2, [[(0, 0), (2, 2)]])
+        report = quality_report(release, original)
+        assert report.discernibility == 4
+        # Data ranges are both 2 (two records at (0,0) and (2,2)), so each
+        # record is charged the full normalized extent on both attributes.
+        assert report.certainty == pytest.approx(2 * (1.0 + 1.0))
+        assert report.kl > 0
+        assert report.partitions == 1
+        assert report.records == 2
+        assert report.row() == (
+            report.discernibility,
+            report.certainty,
+            report.kl,
+        )

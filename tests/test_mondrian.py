@@ -1,0 +1,93 @@
+"""The Mondrian top-down baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mondrian import MondrianAnonymizer, mondrian_anonymize
+from repro.dataset.record import Record
+from repro.dataset.table import Table
+from repro.privacy.kanonymity import verify_release
+from tests.conftest import random_records
+
+
+class TestMondrian:
+    def test_release_passes_audit(self, medium_table) -> None:
+        for k in (5, 10, 30):
+            release = mondrian_anonymize(medium_table, k)
+            assert verify_release(release, medium_table, k) == []
+
+    def test_strictness_no_partition_reaches_2k(self, medium_table) -> None:
+        """Strict Mondrian keeps splitting while any dimension allows it:
+        on data without heavy duplicates, no partition reaches 2k."""
+        release = mondrian_anonymize(medium_table, 10)
+        assert max(len(p) for p in release.partitions) < 20 + 5  # small slack
+
+    def test_regions_are_disjoint(self, medium_table) -> None:
+        release = mondrian_anonymize(medium_table, 10)
+        boxes = [p.box for p in release.partitions]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                overlap = a.intersection(b)
+                assert overlap is None or overlap.area() == 0.0
+
+    def test_regions_tile_the_domain(self, medium_table) -> None:
+        release = mondrian_anonymize(medium_table, 10)
+        domain = medium_table.domain_box()
+        assert sum(p.box.area() for p in release.partitions) == pytest.approx(
+            domain.area()
+        )
+
+    def test_deterministic(self, small_table) -> None:
+        a = mondrian_anonymize(small_table, 5)
+        b = mondrian_anonymize(small_table, 5)
+        assert [p.rids() for p in a.partitions] == [p.rids() for p in b.partitions]
+
+    def test_order_invariant(self, small_table, schema3) -> None:
+        shuffled = small_table.sample(len(small_table), seed=9)
+        a = mondrian_anonymize(small_table, 5)
+        b = mondrian_anonymize(Table(schema3, shuffled.records), 5)
+        assert sorted(map(sorted, (p.rids() for p in a.partitions))) == sorted(
+            map(sorted, (p.rids() for p in b.partitions))
+        )
+
+    def test_duplicates_stay_whole(self, schema3) -> None:
+        records = [Record(i, (5.0, 5.0, 5.0)) for i in range(40)]
+        release = MondrianAnonymizer(Table(schema3, records)).anonymize(10)
+        assert len(release.partitions) == 1
+
+    def test_empty_table_rejected(self, schema3) -> None:
+        with pytest.raises(ValueError):
+            MondrianAnonymizer(Table(schema3))
+
+    def test_k_larger_than_table_rejected(self, small_table) -> None:
+        with pytest.raises(ValueError):
+            mondrian_anonymize(small_table, len(small_table) + 1)
+
+    def test_invalid_k_rejected(self, small_table) -> None:
+        with pytest.raises(ValueError):
+            mondrian_anonymize(small_table, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            min_size=6,
+            max_size=120,
+        ),
+        st.integers(2, 6),
+    )
+    def test_k_floor_property(self, points, k) -> None:
+        from repro.dataset.schema import Attribute, Schema
+
+        schema = Schema(
+            (Attribute.numeric("x", 0, 50), Attribute.numeric("y", 0, 50))
+        )
+        table = Table.from_points(schema, [(float(a), float(b)) for a, b in points])
+        if len(table) < k:
+            return
+        release = MondrianAnonymizer(table).anonymize(k)
+        assert release.k_effective >= k
+        assert release.record_count == len(table)

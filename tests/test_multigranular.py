@@ -1,0 +1,154 @@
+"""Multi-granular releases, k-boundedness and the intersection attack (§3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.multigranular import (
+    hierarchical_granularities,
+    hierarchical_release,
+    min_candidate_set_size,
+    verify_k_bound,
+)
+from repro.dataset.table import Table
+from repro.privacy.attack import intersection_attack
+from repro.privacy.kanonymity import verify_release
+from tests.conftest import random_records
+
+
+@pytest.fixture
+def loaded(medium_table: Table) -> RTreeAnonymizer:
+    anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+    anonymizer.bulk_load(medium_table)
+    return anonymizer
+
+
+class TestHierarchicalRelease:
+    def test_level_zero_is_the_leaves(self, loaded, medium_table) -> None:
+        release = hierarchical_release(loaded.tree, 0, medium_table.schema)
+        assert len(release.partitions) == loaded.leaf_count()
+        assert release.k_effective >= loaded.base_k
+
+    def test_higher_levels_coarser(self, loaded, medium_table) -> None:
+        previous_partitions = None
+        for level in range(loaded.tree.height + 1):
+            release = hierarchical_release(loaded.tree, level, medium_table.schema)
+            assert release.record_count == len(medium_table)
+            if previous_partitions is not None:
+                assert len(release.partitions) < previous_partitions
+            previous_partitions = len(release.partitions)
+
+    def test_missing_level_rejected(self, loaded, medium_table) -> None:
+        with pytest.raises(ValueError):
+            hierarchical_release(loaded.tree, 99, medium_table.schema)
+
+    def test_granularities_monotone(self, loaded) -> None:
+        pairs = hierarchical_granularities(loaded.tree)
+        levels = [level for level, _g in pairs]
+        guarantees = [guarantee for _l, guarantee in pairs]
+        assert levels == sorted(levels)
+        assert guarantees == sorted(guarantees)
+        assert guarantees[0] >= loaded.base_k
+
+    def test_levels_nest(self, loaded, medium_table) -> None:
+        """Each level-i partition is a union of level-(i-1) partitions —
+        the structural fact behind Lemma 1's hierarchical instance."""
+        fine = hierarchical_release(loaded.tree, 0, medium_table.schema)
+        coarse = hierarchical_release(loaded.tree, 1, medium_table.schema)
+        coarse_of = coarse.rid_to_partition()
+        for partition in fine.partitions:
+            containers = {coarse_of[rid] for rid in partition.rids()}
+            assert len(containers) == 1
+
+
+class TestKBound:
+    def test_tree_releases_are_k_bound(self, loaded) -> None:
+        releases = [loaded.anonymize(k) for k in (5, 10, 25, 60)]
+        assert verify_k_bound(releases, loaded.base_k)
+
+    def test_mixed_strategies_still_k_bound(self, loaded, medium_table) -> None:
+        releases = [
+            loaded.anonymize(10),
+            loaded.anonymize(25, strategy="sequential"),
+            hierarchical_release(loaded.tree, 1, medium_table.schema),
+        ]
+        assert verify_k_bound(releases, loaded.base_k)
+
+    def test_crossing_partitionings_break_k_bound(self, schema3) -> None:
+        """The §3 warning, distilled: two individually 2-anonymous releases
+        whose groupings cross reduce every record's candidate set to 1."""
+        from repro.core.partition import AnonymizedTable, Partition
+        from repro.geometry.box import Box
+
+        records = random_records(4, seed=0)
+        box = Box((0.0,) * 3, (100.0,) * 3)
+
+        def release(groups: list[list[int]]) -> AnonymizedTable:
+            return AnonymizedTable(
+                schema3,
+                [
+                    Partition(tuple(records[i] for i in group), box)
+                    for group in groups
+                ],
+            )
+
+        first = release([[0, 1], [2, 3]])
+        second = release([[0, 2], [1, 3]])
+        assert first.k_effective == 2 and second.k_effective == 2
+        assert min_candidate_set_size([first, second]) == 1
+        assert not verify_k_bound([first, second], 2)
+
+    def test_single_release_candidates_equal_partition_sizes(self, loaded) -> None:
+        release = loaded.anonymize(10)
+        assert min_candidate_set_size([release]) == release.k_effective
+
+    def test_empty_release_list_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            min_candidate_set_size([])
+
+
+class TestAttackReport:
+    def test_report_fields(self, loaded) -> None:
+        releases = [loaded.anonymize(k) for k in (5, 20)]
+        report = intersection_attack(releases, thresholds=(3, 5, 10))
+        assert report.releases == 2
+        assert report.records == len(loaded)
+        assert report.min_candidates >= 5
+        assert report.preserves_k(5)
+        assert report.compromised_below[5] == 0
+        assert report.mean_candidates >= report.min_candidates
+
+    def test_attack_finds_compromises(self, schema3) -> None:
+        from repro.core.partition import AnonymizedTable, Partition
+        from repro.geometry.box import Box
+
+        records = random_records(6, seed=0)
+        box = Box((0.0,) * 3, (100.0,) * 3)
+
+        def release(groups: list[list[int]]) -> AnonymizedTable:
+            return AnonymizedTable(
+                schema3,
+                [
+                    Partition(tuple(records[i] for i in group), box)
+                    for group in groups
+                ],
+            )
+
+        crossing = [
+            release([[0, 1, 2], [3, 4, 5]]),
+            release([[0, 3, 4], [1, 2, 5]]),
+        ]
+        report = intersection_attack(crossing, thresholds=(2, 3))
+        assert not report.preserves_k(3)
+        assert report.compromised_below[2] > 0
+        assert report.min_candidates == 1
+
+    def test_releases_pass_individual_audit_yet_attack_differs(
+        self, loaded, medium_table
+    ) -> None:
+        """Each release alone is k-anonymous; the *set* is the question."""
+        releases = [loaded.anonymize(k) for k in (5, 10)]
+        for release, k in zip(releases, (5, 10)):
+            assert verify_release(release, medium_table, k) == []
+        assert intersection_attack(releases).preserves_k(loaded.base_k)

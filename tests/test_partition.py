@@ -1,0 +1,104 @@
+"""Partitions and anonymized tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, Schema
+from repro.geometry.box import Box
+
+
+def make_partition(points: list[tuple[float, float]], box: Box | None = None) -> Partition:
+    records = tuple(Record(i, p) for i, p in enumerate(points))
+    if box is None:
+        box = Box.from_points(points)
+    return Partition(records, box)
+
+
+@pytest.fixture
+def schema2() -> Schema:
+    return Schema((Attribute.numeric("x", 0, 10), Attribute.numeric("y", 0, 10)))
+
+
+class TestPartition:
+    def test_box_must_contain_records(self) -> None:
+        records = (Record(0, (5.0, 5.0)),)
+        with pytest.raises(ValueError):
+            Partition(records, Box((0.0, 0.0), (1.0, 1.0)))
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Partition((), Box((0.0,), (1.0,)))
+
+    def test_mbr_shrink_wraps(self) -> None:
+        partition = make_partition(
+            [(1.0, 8.0), (3.0, 2.0)], Box((0.0, 0.0), (10.0, 10.0))
+        )
+        assert partition.mbr() == Box((1.0, 2.0), (3.0, 8.0))
+
+    def test_with_box(self) -> None:
+        partition = make_partition([(1.0, 1.0)], Box((0.0, 0.0), (5.0, 5.0)))
+        tightened = partition.with_box(partition.mbr())
+        assert tightened.records == partition.records
+        assert tightened.box == Box((1.0, 1.0), (1.0, 1.0))
+
+    def test_rids(self) -> None:
+        assert make_partition([(1.0, 1.0), (2.0, 2.0)]).rids() == frozenset({0, 1})
+
+    def test_len(self) -> None:
+        assert len(make_partition([(1.0, 1.0), (2.0, 2.0)])) == 2
+
+
+class TestAnonymizedTable:
+    def make_table(self, schema2: Schema) -> AnonymizedTable:
+        a = Partition(
+            (Record(0, (1.0, 1.0), ("flu",)), Record(1, (2.0, 2.0), ("cold",))),
+            Box((1.0, 1.0), (2.0, 2.0)),
+        )
+        b = Partition(
+            (Record(2, (8.0, 8.0), ("flu",)), Record(3, (9.0, 9.0), ("acl",)),
+             Record(4, (8.5, 8.5), ("flu",))),
+            Box((8.0, 8.0), (9.0, 9.0)),
+        )
+        return AnonymizedTable(schema2, [a, b])
+
+    def test_counts(self, schema2: Schema) -> None:
+        table = self.make_table(schema2)
+        assert len(table) == 2  # partitions
+        assert table.record_count == 5
+        assert table.k_effective == 2
+
+    def test_empty_rejected(self, schema2: Schema) -> None:
+        with pytest.raises(ValueError):
+            AnonymizedTable(schema2, [])
+
+    def test_dimension_mismatch_rejected(self, schema2: Schema) -> None:
+        bad = Partition((Record(0, (1.0,)),), Box((0.0,), (2.0,)))
+        with pytest.raises(ValueError):
+            AnonymizedTable(schema2, [bad])
+
+    def test_partition_of(self, schema2: Schema) -> None:
+        table = self.make_table(schema2)
+        assert len(table.partition_of(3)) == 3
+        with pytest.raises(KeyError):
+            table.partition_of(99)
+
+    def test_rid_to_partition(self, schema2: Schema) -> None:
+        mapping = self.make_table(schema2).rid_to_partition()
+        assert mapping == {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+
+    def test_rows_release_format(self, schema2: Schema) -> None:
+        rows = list(self.make_table(schema2).rows())
+        assert len(rows) == 5
+        box, sensitive = rows[0]
+        assert box == Box((1.0, 1.0), (2.0, 2.0))
+        assert sensitive == ("flu",)
+        # All rows of one partition publish the same box.
+        assert rows[0][0] == rows[1][0]
+
+    def test_summary_mentions_k(self, schema2: Schema) -> None:
+        summary = self.make_table(schema2).summary()
+        assert "k-effective 2" in summary
+        assert "2 partitions" in summary

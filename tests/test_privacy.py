@@ -1,0 +1,142 @@
+"""Privacy verifiers: k-anonymity audit, l-diversity, (α,k)-anonymity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.record import Record
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.geometry.box import Box
+from repro.privacy.kanonymity import is_k_anonymous, verify_release
+from repro.privacy.ldiversity import (
+    AlphaKAnonymity,
+    DistinctLDiversity,
+    EntropyLDiversity,
+)
+
+
+@pytest.fixture
+def schema1() -> Schema:
+    return Schema((Attribute.numeric("x", 0, 10),), sensitive=("diagnosis",))
+
+
+def release_and_original(
+    schema1: Schema, groups: list[list[tuple[float, str]]]
+) -> tuple[AnonymizedTable, Table]:
+    rid = 0
+    partitions = []
+    original = Table(schema1)
+    for group in groups:
+        records = []
+        for value, diagnosis in group:
+            record = Record(rid, (value,), (diagnosis,))
+            original.append(record)
+            records.append(record)
+            rid += 1
+        partitions.append(
+            Partition(tuple(records), Box.from_points(r.point for r in records))
+        )
+    return AnonymizedTable(schema1, partitions), original
+
+
+class TestVerifyRelease:
+    def test_clean_release(self, schema1) -> None:
+        release, original = release_and_original(
+            schema1, [[(1, "flu"), (2, "cold")], [(8, "acl"), (9, "flu")]]
+        )
+        assert verify_release(release, original, 2) == []
+        assert is_k_anonymous(release, 2)
+        assert not is_k_anonymous(release, 3)
+
+    def test_detects_small_partition(self, schema1) -> None:
+        release, original = release_and_original(
+            schema1, [[(1, "flu")], [(8, "acl"), (9, "flu")]]
+        )
+        problems = verify_release(release, original, 2)
+        assert any("< k=2" in problem for problem in problems)
+
+    def test_detects_missing_records(self, schema1) -> None:
+        release, original = release_and_original(
+            schema1, [[(1, "flu"), (2, "cold")]]
+        )
+        original.append(Record(99, (5.0,), ("flu",)))
+        problems = verify_release(release, original, 2)
+        assert any("missing" in problem for problem in problems)
+
+    def test_detects_invented_records(self, schema1) -> None:
+        release, original = release_and_original(
+            schema1, [[(1, "flu"), (2, "cold")]]
+        )
+        foreign = Partition(
+            (Record(50, (5.0,)), Record(51, (6.0,))), Box((5.0,), (6.0,))
+        )
+        bloated = AnonymizedTable(schema1, list(release.partitions) + [foreign])
+        problems = verify_release(bloated, original, 2)
+        assert any("does not exist" in problem for problem in problems)
+
+    def test_detects_duplicates(self, schema1) -> None:
+        release, original = release_and_original(
+            schema1, [[(1, "flu"), (2, "cold")]]
+        )
+        doubled = AnonymizedTable(
+            schema1, list(release.partitions) + [release.partitions[0]]
+        )
+        problems = verify_release(doubled, original, 2)
+        assert any("twice" in problem for problem in problems)
+
+
+class TestDiversityConstraints:
+    def records(self, diagnoses: list[str]) -> list[Record]:
+        return [
+            Record(i, (float(i),), (diagnosis,))
+            for i, diagnosis in enumerate(diagnoses)
+        ]
+
+    def test_distinct_l_diversity(self) -> None:
+        constraint = DistinctLDiversity(2)
+        assert constraint(self.records(["flu", "cold"]))
+        assert not constraint(self.records(["flu", "flu", "flu"]))
+
+    def test_distinct_is_monotone_under_union(self) -> None:
+        constraint = DistinctLDiversity(2)
+        satisfied = self.records(["flu", "cold"])
+        more = satisfied + self.records(["flu", "flu"])
+        assert constraint(more)
+
+    def test_entropy_l_diversity(self) -> None:
+        constraint = EntropyLDiversity(2)
+        # Perfectly balanced two values: entropy = log 2 -> passes l=2.
+        assert constraint(self.records(["flu", "cold", "flu", "cold"]))
+        # Heavily skewed: entropy < log 2.
+        assert not constraint(self.records(["flu"] * 9 + ["cold"]))
+
+    def test_entropy_monotone_over_diverse_unions(self) -> None:
+        constraint = EntropyLDiversity(2)
+        a = self.records(["flu", "cold"])
+        b = self.records(["acl", "whiplash"])
+        assert constraint(a) and constraint(b)
+        assert constraint(a + b)
+
+    def test_alpha_k(self) -> None:
+        constraint = AlphaKAnonymity(alpha=0.5, k=4)
+        assert constraint(self.records(["flu", "cold", "flu", "acl"]))
+        assert not constraint(self.records(["flu", "flu", "flu", "acl"]))
+        assert not constraint(self.records(["flu", "cold"]))  # size < k
+
+    def test_check_table(self, schema1) -> None:
+        release, _ = release_and_original(
+            schema1, [[(1, "flu"), (2, "cold")], [(8, "acl"), (9, "flu")]]
+        )
+        assert DistinctLDiversity(2).check_table(release)
+        assert not DistinctLDiversity(3).check_table(release)
+        assert EntropyLDiversity(2).check_table(release)
+        assert AlphaKAnonymity(alpha=0.5, k=2).check_table(release)
+
+    def test_entropy_threshold_is_log_l(self) -> None:
+        records = self.records(["a", "b", "c"])
+        assert EntropyLDiversity(3)(records)  # entropy == log 3 exactly
+        assert math.isclose(math.log(3), math.log(3))

@@ -1,0 +1,127 @@
+"""The quadtree substrate and its anonymizer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.record import Record
+from repro.dataset.table import Table
+from repro.geometry.box import Box
+from repro.index.quadtree import QuadTree, QuadTreeAnonymizer, quadtree_anonymize
+from repro.privacy.kanonymity import verify_release
+from tests.conftest import random_records
+
+
+def fresh_tree(capacity: int = 8, dims: int = 3) -> QuadTree:
+    return QuadTree((0.0,) * dims, (100.0,) * dims, capacity=capacity)
+
+
+class TestQuadTree:
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ValueError):
+            QuadTree((0.0,), (1.0,), capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree((0.0,), (1.0, 2.0), capacity=4)
+        tree = fresh_tree()
+        with pytest.raises(ValueError):
+            tree.insert(Record(0, (1.0,)))
+
+    def test_subdivision_produces_2_pow_d_children(self) -> None:
+        tree = fresh_tree(capacity=4, dims=2)
+        for record in random_records(30, dimensions=2, seed=1):
+            tree.insert(record)
+        tree.check_invariants()
+        assert len(tree) == 30
+
+    def test_leaves_cover_all_records(self) -> None:
+        tree = fresh_tree(capacity=6)
+        records = random_records(200, seed=2)
+        tree.insert_all(records)
+        tree.check_invariants()
+        rids = sorted(r.rid for leaf in tree.leaves() for r in leaf.records)
+        assert rids == list(range(200))
+
+    def test_search_matches_linear_scan(self) -> None:
+        tree = fresh_tree(capacity=6)
+        records = random_records(300, seed=3)
+        tree.insert_all(records)
+        rng = random.Random(4)
+        for _ in range(15):
+            lows = tuple(float(rng.randint(0, 70)) for _ in range(3))
+            highs = tuple(low + rng.randint(5, 30) for low in lows)
+            box = Box(lows, highs)
+            expected = sorted(r.rid for r in records if box.contains_point(r.point))
+            assert sorted(r.rid for r in tree.search(box)) == expected
+
+    def test_min_extent_caps_duplicate_depth(self) -> None:
+        tree = QuadTree((0.0, 0.0), (100.0, 100.0), capacity=4, min_extent=1.0)
+        for rid in range(50):
+            tree.insert(Record(rid, (5.0, 5.0)))
+        tree.check_invariants()  # terminates: subdivision stops at min_extent
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 99), st.integers(0, 99)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_insert_property(self, points) -> None:
+        tree = QuadTree((0.0, 0.0), (100.0, 100.0), capacity=5)
+        for rid, point in enumerate(points):
+            tree.insert(Record(rid, (float(point[0]), float(point[1]))))
+        tree.check_invariants()
+        assert len(tree) == len(points)
+
+
+class TestQuadTreeAnonymizer:
+    @pytest.fixture
+    def table3(self, schema3) -> Table:
+        return Table(schema3, random_records(500, seed=5))
+
+    def test_release_passes_audit(self, table3) -> None:
+        for k in (5, 10):
+            release = quadtree_anonymize(table3, k)
+            assert verify_release(release, table3, k) == []
+
+    def test_parameter_validation(self, table3, schema3) -> None:
+        with pytest.raises(ValueError):
+            QuadTreeAnonymizer(Table(schema3))
+        with pytest.raises(ValueError):
+            QuadTreeAnonymizer(table3, capacity_factor=1)
+        with pytest.raises(ValueError):
+            quadtree_anonymize(table3, 0)
+        with pytest.raises(ValueError):
+            quadtree_anonymize(table3, len(table3) + 1)
+
+    def test_rtree_beats_quadtree_on_clustered_data(self) -> None:
+        """The §6 point, inverted: data-aware splits beat data-oblivious
+        midpoint splits where the data is clustered."""
+        from repro.core.anonymizer import RTreeAnonymizer
+        from repro.dataset.landsend import make_landsend_table
+        from repro.dataset.schema import Attribute, Schema
+        from repro.metrics.certainty import certainty_penalty
+
+        full = make_landsend_table(2_000, seed=6)
+        schema = Schema(
+            (
+                Attribute.numeric("zipcode", 501, 99_950),
+                Attribute.numeric("price", 1, 500),
+                Attribute.numeric("cost", 1, 6_000),
+            )
+        )
+        table = Table.from_points(
+            schema, [(r.point[0], r.point[4], r.point[6]) for r in full]
+        )
+        quadtree_release = quadtree_anonymize(table, 10)
+        anonymizer = RTreeAnonymizer(table, base_k=10, leaf_capacity=19)
+        anonymizer.bulk_load(table)
+        rtree_release = anonymizer.anonymize(10)
+        assert certainty_penalty(rtree_release, table) < certainty_penalty(
+            quadtree_release, table
+        )

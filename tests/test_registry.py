@@ -1,0 +1,87 @@
+"""The release registry: cumulative collusion auditing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.multigranular import hierarchical_release
+from repro.core.partition import AnonymizedTable, Partition
+from repro.dataset.table import Table
+from repro.geometry.box import Box
+from repro.privacy.registry import ReleaseRegistry, ReleaseRejected
+from tests.conftest import random_records
+
+
+@pytest.fixture
+def loaded(medium_table: Table) -> RTreeAnonymizer:
+    anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+    anonymizer.bulk_load(medium_table)
+    return anonymizer
+
+
+class TestRegistry:
+    def test_tree_releases_always_register(self, loaded, medium_table) -> None:
+        registry = ReleaseRegistry(medium_table, pledge_k=5)
+        for audience, k in (("lab", 5), ("partners", 20), ("web", 50)):
+            report = registry.register(audience, loaded.anonymize(k), k)
+            assert report.preserves_k(5)
+        hierarchical = hierarchical_release(loaded.tree, 1, medium_table.schema)
+        registry.register("auditors", hierarchical, 5)
+        assert len(registry) == 4
+        assert registry.is_safe()
+
+    def test_below_pledge_rejected(self, loaded, medium_table) -> None:
+        registry = ReleaseRegistry(medium_table, pledge_k=10)
+        with pytest.raises(ReleaseRejected):
+            registry.register("lab", loaded.anonymize(5), 5)
+
+    def test_bogus_release_rejected_by_audit(self, medium_table) -> None:
+        registry = ReleaseRegistry(medium_table, pledge_k=5)
+        # A "release" that drops half the records fails the audit gate.
+        truncated = AnonymizedTable(
+            medium_table.schema,
+            [
+                Partition.trusted(
+                    tuple(medium_table.records[:100]),
+                    Box.from_points(r.point for r in medium_table.records[:100]),
+                )
+            ],
+        )
+        with pytest.raises(ReleaseRejected):
+            registry.register("lab", truncated, 5)
+
+    def test_crossing_release_rejected(self, schema3) -> None:
+        """The enforcement moment: a second, crossing partitioning is
+        refused because collusion would isolate records."""
+        records = random_records(8, seed=0)
+        table = Table(schema3, records)
+        box = Box((0.0,) * 3, (100.0,) * 3)
+
+        def release(groups: list[list[int]]) -> AnonymizedTable:
+            return AnonymizedTable(
+                schema3,
+                [
+                    Partition.trusted(tuple(records[i] for i in g), box)
+                    for g in groups
+                ],
+            )
+
+        registry = ReleaseRegistry(table, pledge_k=2)
+        registry.register("a", release([[0, 1, 2, 3], [4, 5, 6, 7]]), 2)
+        # Record 0's intersection would be {0} alone: candidate set of 1.
+        with pytest.raises(ReleaseRejected):
+            registry.register("b", release([[0, 4, 5, 6], [1, 2, 3, 7]]), 2)
+        # The safe state is untouched by the rejected attempt.
+        assert len(registry) == 1
+        assert registry.is_safe()
+
+    def test_audit_requires_releases(self, medium_table) -> None:
+        registry = ReleaseRegistry(medium_table, pledge_k=5)
+        assert registry.is_safe()  # vacuously
+        with pytest.raises(ValueError):
+            registry.audit()
+
+    def test_invalid_pledge(self, medium_table) -> None:
+        with pytest.raises(ValueError):
+            ReleaseRegistry(medium_table, pledge_k=0)

@@ -1,0 +1,157 @@
+"""Simulated storage: pages, the paged disk, and the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import Page
+from repro.storage.pagefile import IOStats, PageFile
+
+
+class TestPage:
+    def test_capacity_enforced(self) -> None:
+        page: Page[int] = Page(0, capacity=2)
+        page.append(1)
+        page.append(2)
+        assert page.is_full
+        with pytest.raises(OverflowError):
+            page.append(3)
+
+    def test_extend_upto_returns_leftovers(self) -> None:
+        page: Page[int] = Page(0, capacity=3)
+        leftovers = page.extend_upto([1, 2, 3, 4, 5])
+        assert list(page) == [1, 2, 3]
+        assert leftovers == [4, 5]
+
+    def test_nonpositive_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Page(0, capacity=0)
+
+
+class TestPageFile:
+    def test_items_per_page_is_B(self) -> None:
+        pagefile: PageFile[int] = PageFile(page_bytes=8192, record_bytes=36)
+        assert pagefile.items_per_page == 8192 // 36
+
+    def test_page_smaller_than_record_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            PageFile(page_bytes=16, record_bytes=36)
+
+    def test_read_write_counters(self) -> None:
+        pagefile: PageFile[int] = PageFile(page_bytes=100, record_bytes=10)
+        page = pagefile.allocate()
+        assert pagefile.stats.total == 0  # allocation is free
+        pagefile.write_page(page)
+        pagefile.read_page(page.page_id)
+        assert pagefile.stats == IOStats(reads=1, writes=1)
+
+    def test_stats_delta(self) -> None:
+        stats = IOStats(reads=5, writes=3)
+        earlier = stats.snapshot()
+        stats.reads += 2
+        assert stats.delta(earlier) == IOStats(reads=2, writes=0)
+
+    def test_free_releases_page(self) -> None:
+        pagefile: PageFile[int] = PageFile()
+        page = pagefile.allocate()
+        assert pagefile.page_count == 1
+        pagefile.free(page.page_id)
+        assert pagefile.page_count == 0
+
+
+class TestBufferPool:
+    def make_pool(self, pages: int) -> tuple[PageFile[int], BufferPool[int]]:
+        pagefile: PageFile[int] = PageFile(page_bytes=100, record_bytes=10)
+        return pagefile, BufferPool(pagefile, memory_bytes=pages * 100)
+
+    def test_capacity_from_memory(self) -> None:
+        _pagefile, pool = self.make_pool(4)
+        assert pool.capacity_pages == 4
+
+    def test_too_small_memory_rejected(self) -> None:
+        pagefile: PageFile[int] = PageFile(page_bytes=100, record_bytes=10)
+        with pytest.raises(ValueError):
+            BufferPool(pagefile, memory_bytes=50)
+
+    def test_cached_access_is_free(self) -> None:
+        pagefile, pool = self.make_pool(4)
+        page = pool.new_page()
+        pool.get(page.page_id)
+        pool.get(page.page_id)
+        assert pagefile.stats.reads == 0
+        assert pool.hits == 2
+
+    def test_eviction_writes_dirty_pages_only(self) -> None:
+        pagefile, pool = self.make_pool(2)
+        dirty = pool.new_page()  # dirty by construction
+        clean_candidate = pool.new_page()
+        pool.flush()  # both persisted, both now clean
+        writes_after_flush = pagefile.stats.writes
+        # Touch one page read-only; fill the pool so the other is evicted.
+        pool.get(dirty.page_id)
+        pool.new_page()  # evicts clean_candidate (LRU) — no write needed
+        assert pagefile.stats.writes == writes_after_flush
+        assert clean_candidate.page_id not in (dirty.page_id,)
+
+    def test_miss_reads_from_disk(self) -> None:
+        pagefile, pool = self.make_pool(1)
+        first = pool.new_page()
+        pool.new_page()  # evicts first (dirty -> one write)
+        assert pagefile.stats.writes == 1
+        pool.get(first.page_id)  # miss -> one read
+        assert pagefile.stats.reads == 1
+        assert pool.misses == 1
+
+    def test_lru_order(self) -> None:
+        pagefile, pool = self.make_pool(2)
+        a = pool.new_page()
+        b = pool.new_page()
+        pool.get(a.page_id)  # a becomes most-recent
+        pool.new_page()  # evicts b
+        pool.get(a.page_id)
+        assert pagefile.stats.reads == 0  # a stayed resident
+        pool.get(b.page_id)
+        assert pagefile.stats.reads == 1  # b had to come back
+
+    def test_free_skips_writeback(self) -> None:
+        pagefile, pool = self.make_pool(2)
+        page = pool.new_page()
+        pool.free(page.page_id)
+        pool.flush()
+        assert pagefile.stats.writes == 0
+
+    def test_flush_idempotent(self) -> None:
+        pagefile, pool = self.make_pool(2)
+        pool.new_page()
+        pool.flush()
+        writes = pagefile.stats.writes
+        pool.flush()
+        assert pagefile.stats.writes == writes
+
+    def test_less_memory_means_more_io_monotonically(self) -> None:
+        """Shrinking the pool can only increase I/O on a fixed access trace.
+
+        (The paper's stronger sub-2x-per-halving claim is a property of the
+        buffer-tree's skewed access pattern and is checked by the Figure
+        8(b) bench, not of arbitrary traces.)
+        """
+        import random
+
+        rng = random.Random(0)
+
+        def run(pool_pages: int) -> int:
+            pagefile: PageFile[int] = PageFile(page_bytes=100, record_bytes=10)
+            pool: BufferPool[int] = BufferPool(pagefile, memory_bytes=pool_pages * 100)
+            ids = [pool.new_page().page_id for _ in range(64)]
+            rng.seed(1)
+            for _ in range(2_000):
+                # Zipf-ish: low-numbered (upper-level) pages dominate.
+                index = min(int(rng.expovariate(0.4)), 63)
+                pool.get(ids[index], for_write=rng.random() < 0.3)
+            pool.flush()
+            return pagefile.stats.total
+
+        totals = [run(pages) for pages in (32, 16, 8, 4)]
+        assert totals == sorted(totals)
+        assert totals[-1] > totals[0]

@@ -5,20 +5,67 @@ drivers are experiments with internal timing columns, not microbenchmarks —
 then prints the paper-style table and asserts the *shape* the paper reports
 (who wins, monotonicity, rough factors).  Absolute numbers are recorded by
 pytest-benchmark for run-to-run comparison.
+
+Profiling: set ``REPRO_PROFILE=<directory>`` to run every figure with the
+:mod:`repro.obs` instrumentation enabled and write one machine-readable
+JSON snapshot per benchmark into the directory (named after the test).
+Each snapshot carries the full default metric schema — split counts,
+buffer flush counts, page read/write counters, span timings — so any two
+runs of the same benchmark are directly diffable::
+
+    REPRO_PROFILE=profiles PYTHONPATH=src:benchmarks \
+        python -m pytest benchmarks/bench_fig7a_bulk_times.py -q
+
+Without the variable the instrumentation stays disabled and the hot paths
+pay only their one-boolean-per-hook guard.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.bench.runner import BenchTable
+
+#: Directory for per-benchmark metric snapshots; falsy disables profiling.
+PROFILE_DIR = os.environ.get("REPRO_PROFILE", "")
+
+
+def _snapshot_path(directory: str) -> Path:
+    """One JSON file per currently-running test, named after the test."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "benchmark")
+    # "benchmarks/bench_x.py::test_y (call)" -> "bench_x_test_y"
+    current = current.split(" ")[0].replace(".py", "")
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", current).strip("_")
+    return Path(directory) / f"{name}.json"
 
 
 def run_figure(benchmark, driver: Callable[[], BenchTable]) -> BenchTable:
-    """Execute a figure driver once under the benchmark fixture and print it."""
-    result = benchmark.pedantic(driver, rounds=1, iterations=1)
+    """Execute a figure driver once under the benchmark fixture and print it.
+
+    With ``REPRO_PROFILE`` set, the driver runs instrumented and its metric
+    snapshot is written next to the benchmark results.
+    """
+    if PROFILE_DIR:
+        obs.enable()
+    try:
+        result = benchmark.pedantic(driver, rounds=1, iterations=1)
+    finally:
+        if PROFILE_DIR:
+            obs.disable()
     print()
     result.show()
+    if PROFILE_DIR:
+        path = _snapshot_path(PROFILE_DIR)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot = obs.snapshot(label=path.stem)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"[repro.obs] metrics snapshot: {path}")
     return result
 
 

@@ -7,9 +7,15 @@
     repro fig10                    # Figure 10 at the default scaled size
     repro fig10 --records 50000    # bigger run
     repro all                      # every experiment, default sizes
+    repro stats                    # instrumented bulk-load smoke + metrics
+    repro fig8b --profile          # any experiment with hot-path metrics
+    repro fig7a --profile-json p.jsonl   # machine-readable snapshot trail
 
 Each experiment prints the same rows the paper plots; see EXPERIMENTS.md
-for the recorded paper-vs-measured comparison.
+for the recorded paper-vs-measured comparison.  ``--profile`` switches the
+:mod:`repro.obs` instrumentation on for the run and prints the collected
+counters/histograms/spans afterwards; ``--profile-json`` additionally
+appends the snapshot to a JSON-lines file.
 """
 
 from __future__ import annotations
@@ -29,7 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id: 'list', 'all', 'table1', or one of the figure ids",
+        help=(
+            "experiment id: 'list', 'all', 'table1', 'stats', "
+            "or one of the figure ids"
+        ),
     )
     parser.add_argument(
         "--records", type=int, default=None, help="override the record count"
@@ -47,6 +56,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally write the result rows to a CSV file (plot-ready)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect hot-path metrics (repro.obs) and print them after the run",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="append the metrics snapshot to a JSON-lines file (implies --profile)",
+    )
     return parser
 
 
@@ -54,9 +74,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
     name = arguments.experiment.lower()
+    profiling = arguments.profile or arguments.profile_json is not None
     if name == "list":
         print("Available experiments:")
         print("  table1  (system configuration report)")
+        print("  stats   (instrumented bulk-load smoke; implies --profile)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -64,6 +86,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if name == "table1":
         environment_report().show()
         return 0
+    if name == "stats":
+        _stats_command(arguments)
+        return 0
+    if profiling:
+        from repro import obs
+
+        obs.enable()
     overrides = {
         key: value
         for key, value in (
@@ -82,6 +111,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             result.show()
             if arguments.csv:
                 _append_csv(result, arguments.csv, key)
+        if profiling:
+            _show_profile("all", arguments.profile_json)
         return 0
     driver = DRIVERS.get(name)
     if driver is None:
@@ -91,7 +122,56 @@ def main(argv: Sequence[str] | None = None) -> int:
     result.show()
     if arguments.csv:
         _append_csv(result, arguments.csv, name)
+    if profiling:
+        _show_profile(name, arguments.profile_json)
     return 0
+
+
+def _stats_command(arguments: argparse.Namespace) -> None:
+    """An instrumented end-to-end smoke: metered bulk load + one release.
+
+    This is the observability "hello world": it exercises every hook —
+    index splits, buffer flushes, pool traffic, page I/O, release
+    generation — on a small Lands End workload and prints the metrics
+    table (writing the snapshot with ``--profile-json``).
+    """
+    from repro import obs
+    from repro.core.anonymizer import RTreeAnonymizer
+    from repro.dataset.landsend import make_landsend_table
+    from repro.dataset.record import Record
+    from repro.storage.buffer_pool import BufferPool
+    from repro.storage.pagefile import PageFile
+
+    records = arguments.records if arguments.records is not None else 10_000
+    k = arguments.k if arguments.k is not None else 10
+    seed = arguments.seed if arguments.seed is not None else 1
+    table = make_landsend_table(records, seed=seed)
+    obs.enable()
+    pagefile: PageFile[Record] = PageFile(page_bytes=4_096, record_bytes=36)
+    pool: BufferPool[Record] = BufferPool(pagefile, 256 * 1_024)
+    anonymizer = RTreeAnonymizer(
+        table, base_k=min(5, k), leaf_capacity=2 * min(5, k) - 1, pool=pool
+    )
+    consumed = anonymizer.bulk_load(table)
+    release = anonymizer.anonymize(k)
+    pool.flush()
+    print(
+        f"Instrumented smoke: {consumed:,} records bulk-loaded, "
+        f"{len(release.partitions):,} partitions at k={k}\n"
+    )
+    _show_profile("stats", arguments.profile_json)
+
+
+def _show_profile(label: str, json_path: str | None) -> None:
+    """Print the collected metrics; optionally append the JSONL snapshot."""
+    from repro import obs
+
+    print(obs.render_table())
+    if json_path:
+        sink = obs.JsonLinesSink(json_path)
+        obs.OBS.emit(sink, label=label)
+        print(f"\nmetrics snapshot appended to {sink.path}")
+    obs.disable()
 
 
 def _append_csv(result, path: str, experiment: str) -> None:

@@ -36,6 +36,7 @@ from repro.index.rtree import (
     RPlusTree,
 )
 from repro.index.split import SplitPolicy
+from repro.obs import OBS
 from repro.storage.buffer_pool import BufferPool
 
 #: The paper's base anonymity level for bulk loads (§5.1).
@@ -97,10 +98,14 @@ class RTreeAnonymizer:
 
     # -- data ingestion -------------------------------------------------------------
 
-    def bulk_load(self, records: Iterable[Record] | Table) -> None:
-        """Bulk-anonymize a record stream via the buffer-tree loader (§2.1)."""
+    def bulk_load(self, records: Iterable[Record] | Table) -> int:
+        """Bulk-anonymize a record stream via the buffer-tree loader (§2.1).
+
+        Returns the number of records the loader consumed.
+        """
         stream = records.records if isinstance(records, Table) else records
-        self._loader.load(stream)
+        with OBS.span("anonymizer.bulk_load"):
+            return self._loader.load(stream)
 
     def bulk_load_file(
         self, path: str, batch_size: int = 8_192, first_rid: int = 0
@@ -110,7 +115,8 @@ class RTreeAnonymizer:
         Streams the file through the buffer-tree loader in ``batch_size``
         chunks — the staging input is never materialized as a table, which
         is how the paper's larger-than-memory runs feed the loader.
-        Returns the number of records consumed.
+        Returns the number of records the loader actually consumed (which
+        the file's header may misreport on a short read).
         """
         from repro.dataset.io import RecordFileReader
 
@@ -120,8 +126,10 @@ class RTreeAnonymizer:
                 f"{path} holds {reader.dimensions}-dimensional records, "
                 f"schema expects {self._schema.dimensions}"
             )
-        self._loader.load(reader.iter_records(batch_size, first_rid=first_rid))
-        return len(reader)
+        with OBS.span("anonymizer.bulk_load_file"):
+            return self._loader.load(
+                reader.iter_records(batch_size, first_rid=first_rid)
+            )
 
     def insert_batch(self, records: Iterable[Record] | Table) -> int:
         """Incrementally anonymize a new batch (§2.2, Figure 7(b)).
@@ -177,10 +185,28 @@ class RTreeAnonymizer:
                 f"requested granularity {k} is below the base k "
                 f"{self._tree.k} the index was built with"
             )
+        # A release must reflect every record handed to this anonymizer:
+        # records parked in loader buffers (a caller used the loader without
+        # drain()) would silently be missing from the "k-anonymous" output,
+        # and a tree still in bulk mode may hold over-full, unsplit leaves.
+        if self._loader.buffered_records:
+            self._loader.drain()
+        elif self._tree.in_bulk_mode:
+            self._tree.finish_bulk()
         if len(self._tree) < k:
             raise ValueError(
                 f"cannot emit a {k}-anonymous release from {len(self._tree)} records"
             )
+        with OBS.span("anonymizer.anonymize"):
+            return self._emit_release(k, compacted, constraint, strategy)
+
+    def _emit_release(
+        self,
+        k: int,
+        compacted: bool,
+        constraint: Constraint | None,
+        strategy: str,
+    ) -> AnonymizedTable:
         leaves = self._tree.leaves()
         if strategy == "subtree":
             groups = subtree_scan(self._tree, k, constraint)
@@ -211,6 +237,9 @@ class RTreeAnonymizer:
                 for extra in boxes[1:]:
                     box = box.union(extra)
                 partitions.append(Partition.trusted(tuple(group), box))
+        if OBS.enabled:
+            OBS.count("anonymizer.releases")
+            OBS.count("anonymizer.partitions", len(partitions))
         return AnonymizedTable(self._schema, partitions)
 
     def leaf_regions(self) -> list[Box]:
@@ -257,6 +286,15 @@ class RTreeAnonymizer:
     def tree(self) -> RPlusTree:
         """The underlying index (for multi-granular releases and inspection)."""
         return self._tree
+
+    @property
+    def loader(self) -> BufferTreeLoader:
+        """The buffer-tree loader.
+
+        Callers streaming through it directly should ``drain()`` when done;
+        :meth:`anonymize` drains on their behalf if they forget.
+        """
+        return self._loader
 
     @property
     def schema(self):  # noqa: ANN201 - Schema import kept light

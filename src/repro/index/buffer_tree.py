@@ -35,6 +35,7 @@ from typing import Iterable
 from repro.dataset.record import Record
 from repro.index.node import InternalNode, LeafNode, Node
 from repro.index.rtree import RPlusTree
+from repro.obs import OBS
 from repro.storage.buffer_pool import BufferPool
 
 #: Default number of buffer pages a node may hold before it is cleared.
@@ -100,10 +101,17 @@ class BufferTreeLoader:
 
     # -- public API -----------------------------------------------------------
 
-    def load(self, records: Iterable[Record], charge_input: bool = True) -> None:
-        """Bulk-load a record stream and fully drain the buffers."""
-        self.insert_batch(records, charge_input=charge_input)
-        self.drain()
+    def load(self, records: Iterable[Record], charge_input: bool = True) -> int:
+        """Bulk-load a record stream and fully drain the buffers.
+
+        Returns the number of records actually consumed from the stream —
+        the count callers should report, rather than whatever the stream's
+        own metadata claims.
+        """
+        with OBS.span("buffer_tree.load"):
+            consumed = self.insert_batch(records, charge_input=charge_input)
+            self.drain()
+        return consumed
 
     def insert_batch(
         self, records: Iterable[Record], charge_input: bool = True
@@ -114,6 +122,12 @@ class BufferTreeLoader:
         called some records may still sit in buffers; the tree's leaf
         partitioning only reflects fully delivered records.
         """
+        with OBS.span("buffer_tree.insert_batch"):
+            return self._insert_batch(records, charge_input)
+
+    def _insert_batch(
+        self, records: Iterable[Record], charge_input: bool
+    ) -> int:
         consumed = 0
         pending: list[Record] = []
         self._tree.begin_bulk()
@@ -145,6 +159,8 @@ class BufferTreeLoader:
         if charge_input and self._pool is not None and consumed:
             pages = math.ceil(consumed / self._records_per_page)
             self._pool.pagefile.stats.reads += pages
+            if OBS.enabled:
+                OBS.count("page.reads", pages)
         # Clear the root buffer if it breached its budget.
         root = self._tree.root
         if root is not None and not root.is_leaf:
@@ -161,16 +177,24 @@ class BufferTreeLoader:
         (modulo threshold-triggered recursive flushes, which are safe in any
         order).
         """
-        while self._buffers:
-            buffer = max(self._buffers.values(), key=lambda b: b.node.level)
-            self._flush(buffer)
-        # Splits deferred during bulk mode are resolved now, so the
-        # occupancy invariant holds the moment the drain returns.
-        self._tree.finish_bulk()
+        if OBS.enabled:
+            OBS.count("buffer_tree.drains")
+        with OBS.span("buffer_tree.drain"):
+            while self._buffers:
+                buffer = max(self._buffers.values(), key=lambda b: b.node.level)
+                if OBS.enabled:
+                    OBS.count("buffer_tree.drain_sweeps")
+                self._flush(buffer)
+            # Splits deferred during bulk mode are resolved now, so the
+            # occupancy invariant holds the moment the drain returns.
+            self._tree.finish_bulk()
 
     # -- buffer mechanics --------------------------------------------------------
 
     def _push_to_buffer(self, node: InternalNode, records: list[Record]) -> None:
+        if OBS.enabled:
+            OBS.count("buffer_tree.pushes")
+            OBS.count("buffer_tree.pushed_records", len(records))
         buffer = self._buffers.get(node.node_id)
         if buffer is None:
             buffer = _NodeBuffer(node)
@@ -222,6 +246,9 @@ class BufferTreeLoader:
         records = self._take_records(buffer)
         if not records:
             return
+        if OBS.enabled:
+            OBS.count("buffer_tree.flushes")
+            OBS.observe("buffer_tree.records_per_flush", len(records))
         children_are_leaves = node.level == 1
         if children_are_leaves:
             # Deliver straight into the leaves, batched per leaf; splits

@@ -37,6 +37,7 @@ from repro.index.split import (
     SplitPolicy,
     partition_records,
 )
+from repro.obs import OBS
 
 #: Default leaf capacity multiplier: leaves hold between k and DEFAULT_CAPACITY_FACTOR * k.
 DEFAULT_CAPACITY_FACTOR = 3
@@ -182,8 +183,13 @@ class RPlusTree:
         be an ancestor of the record's destination leaf (any node whose
         region contains the point qualifies, by construction of the cuts).
         """
+        depth = 0
         while not node.is_leaf:
             node = node.route(record.point)  # type: ignore[union-attr]
+            depth += 1
+        if OBS.enabled:
+            OBS.count("rtree.inserts")
+            OBS.observe("rtree.routing_depth", depth)
         leaf: LeafNode = node  # type: ignore[assignment]
         leaf.records.append(record)
         self._store.on_append(leaf, record)
@@ -249,6 +255,8 @@ class RPlusTree:
             self._bulk_leaf_insert(leaf, batch)
 
     def _bulk_leaf_insert(self, leaf: LeafNode, records: list[Record]) -> None:
+        if OBS.enabled:
+            OBS.count("rtree.inserts", len(records))
         leaf.records.extend(records)
         for record in records:
             self._store.on_append(leaf, record)
@@ -288,7 +296,12 @@ class RPlusTree:
         )
         if decision is None:
             # No legal cut: the leaf stays over-full, which is privacy-safe.
+            if OBS.enabled:
+                OBS.count("rtree.split_refusals")
             return
+        if OBS.enabled:
+            OBS.count("rtree.leaf_splits")
+            OBS.count("rtree.mbr_recomputations", 2)
         left_records, right_records = partition_records(
             leaf.records, decision.dimension, decision.value
         )
@@ -309,6 +322,9 @@ class RPlusTree:
             self._split_leaf(right)
 
     def _split_internal(self, node: InternalNode) -> None:
+        if OBS.enabled:
+            OBS.count("rtree.internal_splits")
+            OBS.count("rtree.mbr_recomputations", 2)
         cut_root = node.cuts.inner
         if not isinstance(cut_root, Cut):
             raise AssertionError("an overflowing internal node must hold a cut")
@@ -363,6 +379,8 @@ class RPlusTree:
                 break
         else:
             raise KeyError(rid)
+        if OBS.enabled:
+            OBS.count("rtree.deletes")
         self._count -= 1
         if leaf is self._root:
             leaf.recompute_mbr()
@@ -374,6 +392,9 @@ class RPlusTree:
             return removed
         # Underflow: dissolve the leaf and reinsert the orphans.
         orphans = list(leaf.records)
+        if OBS.enabled:
+            OBS.count("rtree.dissolves")
+            OBS.count("rtree.reinserted_orphans", len(orphans))
         leaf.records = []
         self._dissolve_leaf(leaf)
         self._count -= len(orphans)
@@ -383,10 +404,14 @@ class RPlusTree:
 
     def _shrink_mbrs(self, leaf: LeafNode) -> None:
         leaf.recompute_mbr()
+        recomputed = 1
         node = leaf.parent
         while node is not None:
             node.recompute_mbr()
+            recomputed += 1
             node = node.parent
+        if OBS.enabled:
+            OBS.count("rtree.mbr_recomputations", recomputed)
 
     def _dissolve_leaf(self, leaf: LeafNode) -> None:
         self._store.on_dissolve(leaf)
@@ -414,9 +439,13 @@ class RPlusTree:
             root = only_child
 
     def _shrink_mbrs_from(self, node: Node | None) -> None:
+        recomputed = 0
         while node is not None:
             node.recompute_mbr()
+            recomputed += 1
             node = node.parent
+        if OBS.enabled and recomputed:
+            OBS.count("rtree.mbr_recomputations", recomputed)
 
     def update(self, rid: int, old_point: Sequence[float], record: Record) -> Record:
         """Update a record's quasi-identifiers: delete + reinsert.
@@ -426,9 +455,24 @@ class RPlusTree:
         is exactly a move between leaves.  Returns the record that was
         replaced; raises ``KeyError`` when no record with ``rid`` exists at
         ``old_point``.
+
+        The operation is atomic: the new record is validated before the old
+        one is removed, and if the insert fails anyway the removed record
+        is put back, so a failed update never loses data.
         """
+        if len(record.point) != self._dimensions:
+            raise ValueError(
+                f"record {record.rid} has {len(record.point)} dimensions, "
+                f"tree expects {self._dimensions}"
+            )
         removed = self.delete(rid, old_point)
-        self.insert(record)
+        try:
+            self.insert(record)
+        except Exception:
+            self.insert(removed)
+            raise
+        if OBS.enabled:
+            OBS.count("rtree.updates")
         return removed
 
     # -- search ----------------------------------------------------------------

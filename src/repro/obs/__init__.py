@@ -1,0 +1,81 @@
+"""repro.obs — observability for the index/loader/storage stack.
+
+One process-wide :class:`~repro.obs.registry.MetricsRegistry` singleton,
+:data:`OBS`, that the hot paths hook into behind ``if OBS.enabled:``
+guards.  Collection is off by default and costs one attribute check per
+hook while off; switch it on around the work you want to measure::
+
+    from repro import obs
+
+    obs.enable()
+    anonymizer.bulk_load(table)          # hooks fire into obs.OBS
+    print(obs.render_table())            # human-readable
+    snapshot = obs.snapshot("bulk")      # JSON-serializable dict
+    obs.disable()
+
+Snapshots can also be pushed through pluggable sinks
+(:class:`~repro.obs.sinks.JsonLinesSink` for machine-readable trails,
+:class:`~repro.obs.sinks.TableSink` for humans,
+:class:`~repro.obs.sinks.InMemorySink` for tests and deltas).  The
+benchmark suite writes one snapshot per figure when ``REPRO_PROFILE`` is
+set, and the CLI exposes the same machinery as ``--profile`` /
+``--profile-json`` and the ``repro stats`` smoke command.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_COUNTERS,
+    DEFAULT_HISTOGRAMS,
+    DEFAULT_METRICS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import InMemorySink, JsonLinesSink, Sink, TableSink
+
+#: The process-wide registry every built-in hook reports to.
+OBS = MetricsRegistry()
+
+
+def enable(reset: bool = True) -> None:
+    """Turn on collection on the process-wide registry."""
+    OBS.enable(reset=reset)
+
+
+def disable() -> None:
+    """Turn off collection on the process-wide registry."""
+    OBS.disable()
+
+
+def reset() -> None:
+    """Clear everything the process-wide registry has collected."""
+    OBS.reset()
+
+
+def snapshot(label: str | None = None) -> dict[str, object]:
+    """A JSON-serializable copy of the process-wide registry's state."""
+    return OBS.snapshot(label)
+
+
+def render_table() -> str:
+    """The process-wide registry's state as a human-readable table."""
+    return OBS.render_table()
+
+
+__all__ = [
+    "DEFAULT_COUNTERS",
+    "DEFAULT_HISTOGRAMS",
+    "DEFAULT_METRICS",
+    "Histogram",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "OBS",
+    "Sink",
+    "TableSink",
+    "disable",
+    "enable",
+    "render_table",
+    "reset",
+    "snapshot",
+]

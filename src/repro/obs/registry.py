@@ -1,0 +1,323 @@
+"""The metrics registry: counters, gauges, histograms, and timing spans.
+
+The registry is the single collection point for everything the hot paths
+(index, loader, storage, anonymizer) want to report.  Design constraints,
+in order:
+
+1. **Zero overhead when disabled.**  The default-constructed registry is
+   disabled and every instrumented call site guards itself with a plain
+   attribute check (``if OBS.enabled: ...``), so the production path pays
+   one boolean test per hook — no function call, no allocation.  ``span``
+   returns a shared no-op context manager when disabled.
+2. **No dependencies.**  This module imports only the standard library so
+   any layer of the system (including :mod:`repro.storage`, the lowest)
+   can hook into it without import cycles.
+3. **Cheap updates when enabled.**  Counters are dict slots; histograms
+   keep streaming aggregates (count/sum/min/max) plus power-of-two bucket
+   counts rather than sample reservoirs, so enabling instrumentation on a
+   100M-record load does not itself become the bottleneck being measured.
+
+Metric names are dotted strings (``"rtree.leaf_splits"``); the well-known
+names emitted by the built-in hooks are declared in :data:`DEFAULT_METRICS`
+so snapshots are schema-stable even for runs that never touch a given path
+(a bulk load without a buffer pool still reports ``page.reads = 0``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sinks import Sink
+
+#: Counter names pre-registered by :meth:`MetricsRegistry.enable` so every
+#: snapshot carries the full schema of the built-in instrumentation.
+DEFAULT_COUNTERS: tuple[str, ...] = (
+    "rtree.inserts",
+    "rtree.deletes",
+    "rtree.updates",
+    "rtree.leaf_splits",
+    "rtree.internal_splits",
+    "rtree.split_refusals",
+    "rtree.dissolves",
+    "rtree.reinserted_orphans",
+    "rtree.mbr_recomputations",
+    "buffer_tree.pushes",
+    "buffer_tree.pushed_records",
+    "buffer_tree.flushes",
+    "buffer_tree.drains",
+    "buffer_tree.drain_sweeps",
+    "pool.hits",
+    "pool.misses",
+    "pool.evictions",
+    "pool.writebacks",
+    "page.reads",
+    "page.writes",
+    "page.allocations",
+    "anonymizer.releases",
+    "anonymizer.partitions",
+)
+
+#: Histogram names pre-registered alongside the counters.
+DEFAULT_HISTOGRAMS: tuple[str, ...] = (
+    "rtree.routing_depth",
+    "buffer_tree.records_per_flush",
+)
+
+#: Everything :meth:`MetricsRegistry.enable` declares up front.
+DEFAULT_METRICS: tuple[str, ...] = DEFAULT_COUNTERS + DEFAULT_HISTOGRAMS
+
+
+class Histogram:
+    """Streaming value distribution: aggregates plus power-of-two buckets."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        #: bucket exponent -> count; value v lands in bucket ceil(log2(v+1)).
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        exponent = max(0, int(value).bit_length() if value >= 1 else 0)
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0,
+            "max": self.maximum if self.count else 0,
+            "mean": self.mean,
+            "buckets": {
+                f"<=2^{exponent}": count
+                for exponent, count in sorted(self.buckets.items())
+            },
+        }
+
+
+class _SpanAggregate:
+    """Accumulated wall time for one span path."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"count": self.count, "total_s": self.total}
+
+
+class _Span:
+    """A live timing span; nesting builds slash-joined paths.
+
+    ``with OBS.span("bulk_load"): ... with OBS.span("drain"): ...``
+    accumulates under ``"bulk_load"`` and ``"bulk_load/drain"``, so the
+    snapshot exposes both the inclusive parent time and the child's share.
+    """
+
+    __slots__ = ("_registry", "_name", "_path", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._path = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._span_stack
+        stack.append(self._name)
+        self._path = "/".join(stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        registry = self._registry
+        if registry._span_stack and registry._span_stack[-1] == self._name:
+            registry._span_stack.pop()
+        aggregate = registry._spans.get(self._path)
+        if aggregate is None:
+            aggregate = registry._spans[self._path] = _SpanAggregate()
+        aggregate.count += 1
+        aggregate.total += elapsed
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and spans behind one enable switch.
+
+    Instrumented call sites hold a module reference to a registry (usually
+    the process-wide :data:`repro.obs.OBS`) and guard every update with
+    ``if registry.enabled:`` — the registry's methods assume the guard and
+    do no re-checking of their own.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_spans", "_span_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, _SpanAggregate] = {}
+        self._span_stack: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, reset: bool = True, declare_defaults: bool = True) -> None:
+        """Switch collection on; by default starts from a clean slate."""
+        if reset:
+            self.reset()
+        if declare_defaults:
+            self.declare(
+                counters=DEFAULT_COUNTERS, histograms=DEFAULT_HISTOGRAMS
+            )
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Switch collection off; collected values remain readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every collected value (the enable switch is untouched)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+        self._span_stack.clear()
+
+    def declare(
+        self,
+        counters: Iterable[str] = (),
+        gauges: Iterable[str] = (),
+        histograms: Iterable[str] = (),
+    ) -> None:
+        """Pre-register metric names so they appear in snapshots at zero."""
+        for name in counters:
+            self._counters.setdefault(name, 0)
+        for name in gauges:
+            self._gauges.setdefault(name, 0.0)
+        for name in histograms:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram()
+
+    # -- updates (call sites must guard with ``if registry.enabled``) --------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a monotonically increasing counter."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into a histogram."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def span(self, name: str) -> "_Span | _NullSpan":
+        """A timing context manager; a shared no-op while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name)
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        return self._gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def snapshot(self, label: str | None = None) -> dict[str, object]:
+        """A JSON-serializable copy of everything collected so far."""
+        snapshot: dict[str, object] = {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "spans": {
+                path: aggregate.as_dict()
+                for path, aggregate in sorted(self._spans.items())
+            },
+        }
+        if label is not None:
+            snapshot["label"] = label
+        return snapshot
+
+    def emit(self, sink: "Sink", label: str | None = None) -> None:
+        """Push the current snapshot into a sink."""
+        sink.emit(self.snapshot(label))
+
+    def render_table(self) -> str:
+        """A human-readable multi-section table of the current snapshot."""
+        lines: list[str] = []
+
+        def section(title: str, rows: Mapping[str, object]) -> None:
+            if not rows:
+                return
+            lines.append(f"== {title} ==")
+            width = max(len(name) for name in rows)
+            for name, value in rows.items():
+                lines.append(f"  {name.ljust(width)}  {value}")
+
+        section("counters", dict(sorted(self._counters.items())))
+        gauges = {
+            name: f"{value:g}" for name, value in sorted(self._gauges.items())
+        }
+        section("gauges", gauges)
+        histograms = {
+            name: (
+                f"count={h.count} mean={h.mean:.2f} "
+                f"min={h.minimum if h.count else 0:g} "
+                f"max={h.maximum if h.count else 0:g}"
+            )
+            for name, h in sorted(self._histograms.items())
+        }
+        section("histograms", histograms)
+        spans = {
+            path: f"count={a.count} total={a.total:.4f}s"
+            for path, a in sorted(self._spans.items())
+        }
+        section("spans", spans)
+        if not lines:
+            return "(no metrics collected)"
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Pluggable destinations for metrics snapshots.
+
+A sink receives the JSON-serializable dict produced by
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`.  Three are built in:
+
+* :class:`InMemorySink` — accumulate snapshots in a list (tests, deltas);
+* :class:`JsonLinesSink` — append one JSON object per line to a file, the
+  machine-readable trail the benchmark suite emits for run-to-run
+  comparison;
+* :class:`TableSink` — print the registry's human-readable table rendering
+  to a stream (what ``repro <experiment> --profile`` shows).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Protocol
+
+
+class Sink(Protocol):
+    """Anything that can receive a metrics snapshot."""
+
+    def emit(self, snapshot: dict[str, object]) -> None:
+        """Consume one snapshot."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemorySink:
+    """Collect snapshots in memory — the test and before/after-delta sink."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict[str, object]] = []
+
+    def emit(self, snapshot: dict[str, object]) -> None:
+        self.snapshots.append(snapshot)
+
+    @property
+    def latest(self) -> dict[str, object] | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class JsonLinesSink:
+    """Append snapshots to a JSON-lines file (one object per line)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def emit(self, snapshot: dict[str, object]) -> None:
+        with open(self._path, "a", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, sort_keys=True)
+            handle.write("\n")
+
+
+class TableSink:
+    """Render snapshots as aligned human-readable tables on a stream."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+
+    def emit(self, snapshot: dict[str, object]) -> None:
+        label = snapshot.get("label")
+        if label:
+            print(f"-- metrics: {label} --", file=self._stream)
+        for section in ("counters", "gauges"):
+            rows = snapshot.get(section) or {}
+            if not rows:
+                continue
+            print(f"== {section} ==", file=self._stream)
+            width = max(len(name) for name in rows)  # type: ignore[arg-type]
+            for name, value in rows.items():  # type: ignore[union-attr]
+                print(f"  {name.ljust(width)}  {value}", file=self._stream)
+        histograms = snapshot.get("histograms") or {}
+        if histograms:
+            print("== histograms ==", file=self._stream)
+            width = max(len(name) for name in histograms)  # type: ignore[arg-type]
+            for name, h in histograms.items():  # type: ignore[union-attr]
+                print(
+                    f"  {name.ljust(width)}  count={h['count']} "  # type: ignore[index]
+                    f"mean={h['mean']:.2f} min={h['min']:g} max={h['max']:g}",
+                    file=self._stream,
+                )
+        spans = snapshot.get("spans") or {}
+        if spans:
+            print("== spans ==", file=self._stream)
+            width = max(len(path) for path in spans)  # type: ignore[arg-type]
+            for path, aggregate in spans.items():  # type: ignore[union-attr]
+                print(
+                    f"  {path.ljust(width)}  count={aggregate['count']} "  # type: ignore[index]
+                    f"total={aggregate['total_s']:.4f}s",
+                    file=self._stream,
+                )

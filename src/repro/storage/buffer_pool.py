@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generic, TypeVar
 
+from repro.obs import OBS
 from repro.storage.page import Page
 from repro.storage.pagefile import PageFile
 
@@ -64,11 +65,15 @@ class BufferPool(Generic[ItemT]):
         cached = self._cached.get(page_id)
         if cached is not None:
             self.hits += 1
+            if OBS.enabled:
+                OBS.count("pool.hits")
             self._cached.move_to_end(page_id)
             if for_write:
                 self._dirty.add(page_id)
             return cached
         self.misses += 1
+        if OBS.enabled:
+            OBS.count("pool.misses")
         page = self._pagefile.read_page(page_id)
         self._admit(page, dirty=for_write)
         return page
@@ -89,13 +94,19 @@ class BufferPool(Generic[ItemT]):
         for page_id in sorted(self._dirty):
             page = self._cached.get(page_id)
             if page is not None:
+                if OBS.enabled:
+                    OBS.count("pool.writebacks")
                 self._pagefile.write_page(page)
         self._dirty.clear()
 
     def _admit(self, page: Page[ItemT], dirty: bool) -> None:
         while len(self._cached) >= self._capacity:
             victim_id, victim = self._cached.popitem(last=False)
+            if OBS.enabled:
+                OBS.count("pool.evictions")
             if victim_id in self._dirty:
+                if OBS.enabled:
+                    OBS.count("pool.writebacks")
                 self._pagefile.write_page(victim)
                 self._dirty.discard(victim_id)
         self._cached[page.page_id] = page

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
+from repro.obs import OBS
 from repro.storage.page import Page
 
 ItemT = TypeVar("ItemT")
@@ -73,6 +74,8 @@ class PageFile(Generic[ItemT]):
 
     def allocate(self) -> Page[ItemT]:
         """Create a fresh empty page (no I/O is charged for allocation)."""
+        if OBS.enabled:
+            OBS.count("page.allocations")
         page: Page[ItemT] = Page(self._next_id, self.items_per_page)
         self._pages[page.page_id] = page
         self._next_id += 1
@@ -81,11 +84,15 @@ class PageFile(Generic[ItemT]):
     def read_page(self, page_id: int) -> Page[ItemT]:
         """Fetch a page from "disk", charging one read."""
         self.stats.reads += 1
+        if OBS.enabled:
+            OBS.count("page.reads")
         return self._pages[page_id]
 
     def write_page(self, page: Page[ItemT]) -> None:
         """Persist a page to "disk", charging one write."""
         self.stats.writes += 1
+        if OBS.enabled:
+            OBS.count("page.writes")
         self._pages[page.page_id] = page
 
     def free(self, page_id: int) -> None:

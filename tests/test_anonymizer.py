@@ -180,3 +180,96 @@ class TestFileLoading:
         anonymizer = RTreeAnonymizer(table, base_k=2)
         with pytest.raises(ValueError):
             anonymizer.bulk_load_file(str(path))
+
+    def test_bulk_load_file_reports_consumed_not_header_count(
+        self, tmp_path, schema3, monkeypatch
+    ) -> None:
+        """Regression: the return value is what the loader consumed.
+
+        ``bulk_load_file`` used to return ``len(reader)`` — the header's
+        claim — so a short read (e.g. a reader that tolerates truncation)
+        was misreported.  Simulate a short read and check the honest count
+        comes back.
+        """
+        import repro.dataset.io as io_module
+        from repro.dataset.io import write_table
+        from repro.dataset.table import Table
+
+        table = Table(schema3, random_records(200, seed=23))
+        path = tmp_path / "short.rec"
+        write_table(table, path)
+
+        real_iter = io_module.RecordFileReader.iter_records
+
+        def short_iter(self, batch_size=8192, first_rid=0):  # noqa: ANN001
+            for index, record in enumerate(
+                real_iter(self, batch_size, first_rid=first_rid)
+            ):
+                if index >= 120:
+                    return
+                yield record
+
+        monkeypatch.setattr(io_module.RecordFileReader, "iter_records", short_iter)
+        anonymizer = RTreeAnonymizer(table, base_k=5)
+        consumed = anonymizer.bulk_load_file(str(path))
+        assert consumed == 120
+        assert len(anonymizer) == 120
+
+
+class TestReleaseReflectsPendingWork:
+    def test_anonymize_drains_pending_loader_buffers(
+        self, medium_table, schema3
+    ) -> None:
+        """Regression: undelivered buffered records must not be silently
+        missing from a "k-anonymous" release."""
+        anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+        # Stream through the loader directly and "forget" to drain.
+        anonymizer.loader.insert_batch(medium_table.records)
+        assert (
+            anonymizer.loader.buffered_records > 0
+            or anonymizer.tree.in_bulk_mode
+        )
+        release = anonymizer.anonymize(10)
+        assert release.record_count == len(medium_table)
+        assert verify_release(release, medium_table, 10) == []
+        assert anonymizer.loader.buffered_records == 0
+        assert not anonymizer.tree.in_bulk_mode
+
+    def test_anonymize_finishes_bulk_mode_without_buffers(
+        self, medium_table
+    ) -> None:
+        """A tree left in bulk mode (over-full unsplit leaves) is finished
+        before leaves are scanned, so occupancy bounds hold in the release."""
+        anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+        anonymizer.tree.begin_bulk()
+        for record in medium_table.records:
+            anonymizer.tree.insert(record)
+        assert anonymizer.tree.in_bulk_mode
+        release = anonymizer.anonymize(10)
+        assert not anonymizer.tree.in_bulk_mode
+        assert release.record_count == len(medium_table)
+        assert verify_release(release, medium_table, 10) == []
+
+    def test_uncompacted_subtree_cursor_stays_aligned(
+        self, loaded, medium_table
+    ) -> None:
+        """The leaf-cursor arithmetic of ``compacted=False`` must consume
+        exactly the leaves each subtree-scan group is made of."""
+        release = loaded.anonymize(10, compacted=False, strategy="subtree")
+        leaves = loaded.tree.leaves()
+        regions = loaded.leaf_regions()
+        assert release.record_count == len(medium_table)
+        assert sum(len(leaf.records) for leaf in leaves) == len(medium_table)
+        cursor = 0
+        for partition in release.partitions:
+            consumed = 0
+            expected_rids = set()
+            while consumed < len(partition):
+                expected_rids.update(r.rid for r in leaves[cursor].records)
+                # Every consumed leaf's region is inside the published box.
+                assert partition.box.contains_box(regions[cursor])
+                consumed += len(leaves[cursor].records)
+                cursor += 1
+            assert consumed == len(partition)
+            assert expected_rids == partition.rids()
+        assert cursor == len(leaves)

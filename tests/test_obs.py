@@ -1,0 +1,228 @@
+"""The observability subsystem: registry, sinks, and the built-in hooks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.dataset.record import Record
+from repro.dataset.table import Table
+from repro.index.buffer_tree import BufferTreeLoader
+from repro.index.rtree import RPlusTree
+from repro.obs import (
+    DEFAULT_COUNTERS,
+    InMemorySink,
+    JsonLinesSink,
+    MetricsRegistry,
+    TableSink,
+)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import PageFile
+from tests.conftest import random_records
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    """Tests toggle the process-wide OBS; always leave it off and empty."""
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRegistry:
+    def test_disabled_by_default(self) -> None:
+        registry = MetricsRegistry()
+        assert not registry.enabled
+
+    def test_counters_and_gauges(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("a.b")
+        registry.count("a.b", 4)
+        registry.gauge("level", 3.5)
+        assert registry.counter_value("a.b") == 5
+        assert registry.gauge_value("level") == 3.5
+        assert registry.counter_value("never.touched") == 0
+
+    def test_histogram_aggregates(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        for value in (1, 2, 3, 10):
+            registry.observe("sizes", value)
+        histogram = registry.histogram("sizes")
+        assert histogram is not None
+        assert histogram.count == 4
+        assert histogram.minimum == 1
+        assert histogram.maximum == 10
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_span_nesting_builds_paths(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+            with registry.span("inner"):
+                pass
+        snapshot = registry.snapshot()
+        spans = snapshot["spans"]
+        assert spans["outer"]["count"] == 1
+        assert spans["outer/inner"]["count"] == 2
+        assert spans["outer"]["total_s"] >= spans["outer/inner"]["total_s"]
+
+    def test_disabled_span_is_noop(self) -> None:
+        registry = MetricsRegistry()
+        with registry.span("anything"):
+            pass
+        assert registry.snapshot()["spans"] == {}
+
+    def test_enable_declares_default_schema(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable()
+        counters = registry.snapshot()["counters"]
+        for name in DEFAULT_COUNTERS:
+            assert name in counters and counters[name] == 0
+
+    def test_reset_clears_everything(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("x")
+        registry.observe("h", 1)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_render_table_mentions_collected_names(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("rtree.leaf_splits", 7)
+        registry.observe("depth", 2)
+        with registry.span("load"):
+            pass
+        rendering = registry.render_table()
+        assert "rtree.leaf_splits" in rendering
+        assert "depth" in rendering
+        assert "load" in rendering
+
+    def test_snapshot_is_json_serializable(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("x", 3)
+        registry.observe("h", 5)
+        with registry.span("s"):
+            pass
+        json.dumps(registry.snapshot("labelled"))
+
+
+class TestSinks:
+    def test_in_memory_sink(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("x")
+        sink = InMemorySink()
+        registry.emit(sink, label="first")
+        registry.count("x")
+        registry.emit(sink, label="second")
+        assert len(sink.snapshots) == 2
+        assert sink.latest["label"] == "second"
+        assert sink.latest["counters"]["x"] == 2
+
+    def test_jsonl_sink_appends_lines(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("x", 9)
+        sink = JsonLinesSink(tmp_path / "metrics.jsonl")
+        registry.emit(sink, label="a")
+        registry.emit(sink, label="b")
+        lines = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["label"] == "a"
+        assert first["counters"]["x"] == 9
+
+    def test_table_sink_writes_stream(self) -> None:
+        import io
+
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("pool.hits", 3)
+        registry.observe("depth", 1)
+        with registry.span("load"):
+            pass
+        stream = io.StringIO()
+        registry.emit(TableSink(stream), label="run")
+        text = stream.getvalue()
+        assert "pool.hits" in text
+        assert "depth" in text
+        assert "load" in text
+        assert "run" in text
+
+
+class TestBuiltInHooks:
+    def test_disabled_hooks_collect_nothing(self) -> None:
+        tree = RPlusTree(dimensions=3, k=3)
+        for record in random_records(100, seed=4):
+            tree.insert(record)
+        assert obs.snapshot()["counters"] == {}
+
+    def test_tree_hooks(self) -> None:
+        obs.enable()
+        tree = RPlusTree(dimensions=3, k=3)
+        records = random_records(200, seed=5)
+        for record in records:
+            tree.insert(record)
+        tree.delete(records[0].rid, records[0].point)
+        snapshot = obs.snapshot()
+        counters = snapshot["counters"]
+        assert counters["rtree.inserts"] >= 200
+        assert counters["rtree.leaf_splits"] > 0
+        assert counters["rtree.deletes"] == 1
+        depth = snapshot["histograms"]["rtree.routing_depth"]
+        assert depth["count"] >= 200
+        assert depth["max"] >= 1
+
+    def test_loader_and_storage_hooks(self) -> None:
+        from repro.index.leaf_store import PagedLeafStore
+
+        obs.enable()
+        pagefile: PageFile[Record] = PageFile(page_bytes=512, record_bytes=36)
+        pool: BufferPool[Record] = BufferPool(pagefile, 8 * 512)
+        tree = RPlusTree(dimensions=3, k=3, leaf_store=PagedLeafStore(pool))
+        loader = BufferTreeLoader(tree, pool=pool)
+        consumed = loader.load(random_records(600, seed=6))
+        pool.flush()
+        assert consumed == 600
+        counters = obs.snapshot()["counters"]
+        assert counters["buffer_tree.flushes"] > 0
+        assert counters["page.reads"] > 0
+        assert counters["page.writes"] > 0
+        assert counters["pool.hits"] + counters["pool.misses"] > 0
+        # The mirrored counts agree with the pagefile's own ledger.
+        assert counters["page.writes"] == pagefile.stats.writes
+
+    def test_anonymizer_release_hooks(self, medium_table: Table) -> None:
+        anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+        anonymizer.bulk_load(medium_table)
+        obs.enable()
+        release = anonymizer.anonymize(10)
+        snapshot = obs.snapshot()
+        assert snapshot["counters"]["anonymizer.releases"] == 1
+        assert snapshot["counters"]["anonymizer.partitions"] == len(
+            release.partitions
+        )
+        assert "anonymizer.anonymize" in snapshot["spans"]
+
+    def test_bulk_load_span_nests_loader_spans(self, medium_table: Table) -> None:
+        obs.enable()
+        anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+        anonymizer.bulk_load(medium_table)
+        spans = obs.snapshot()["spans"]
+        assert "anonymizer.bulk_load" in spans
+        assert "anonymizer.bulk_load/buffer_tree.load" in spans
+        assert (
+            "anonymizer.bulk_load/buffer_tree.load/buffer_tree.drain" in spans
+        )

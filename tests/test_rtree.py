@@ -274,6 +274,33 @@ def test_random_operation_sequences_maintain_invariants(points, data) -> None:
     assert remaining == set(alive)
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(0, 30)),
+        min_size=8,
+        max_size=200,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_underflow_dissolve_preserves_count_and_invariants(points, rng) -> None:
+    """Property: every delete — including underflow dissolves that reinsert
+    orphans — leaves ``len(tree)`` exact and every invariant intact."""
+    tree = fresh_tree(k=3)
+    alive: dict[int, Record] = {}
+    for rid, point in enumerate(points):
+        record = Record(rid, tuple(float(v) for v in point))
+        tree.insert(record)
+        alive[rid] = record
+    doomed = rng.sample(sorted(alive), len(alive) // 2)
+    for rid in doomed:
+        victim = alive.pop(rid)
+        tree.delete(victim.rid, victim.point)
+        assert len(tree) == len(alive)
+    tree.check_invariants()
+    assert {r.rid for leaf in tree.leaves() for r in leaf.records} == set(alive)
+
+
 class TestUpdateAndStats:
     def test_update_moves_record(self) -> None:
         tree = fresh_tree(k=3)
@@ -296,6 +323,58 @@ class TestUpdateAndStats:
             tree.insert(record)
         with pytest.raises(KeyError):
             tree.update(9_999, (1.0, 1.0, 1.0), Record(9_999, (2.0, 2.0, 2.0)))
+
+    def test_update_with_wrong_dimensionality_keeps_old_record(self) -> None:
+        """Regression: a bad replacement must not delete the original.
+
+        ``update`` used to delete first and validate second, so a
+        dimension-mismatched replacement silently dropped the old record.
+        """
+        tree = fresh_tree(k=3)
+        records = random_records(300, seed=23)
+        for record in records:
+            tree.insert(record)
+        victim = records[10]
+        with pytest.raises(ValueError):
+            tree.update(victim.rid, victim.point, Record(victim.rid, (1.0, 2.0)))
+        assert len(tree) == 300
+        leaf = tree.locate_leaf(victim.point)
+        assert leaf is not None
+        assert any(r.rid == victim.rid for r in leaf.records)
+        tree.check_invariants()
+
+    def test_update_reinserts_removed_record_when_insert_fails(
+        self, monkeypatch
+    ) -> None:
+        """Regression: a failing insert rolls the delete back."""
+        tree = fresh_tree(k=3)
+        records = random_records(300, seed=24)
+        for record in records:
+            tree.insert(record)
+        victim = records[77]
+        replacement = Record(victim.rid, (50.0, 50.0, 50.0), victim.sensitive)
+
+        real_insert = RPlusTree.insert
+        failed = {"done": False}
+
+        def failing_insert(self, record):  # noqa: ANN001
+            # Fail only the replacement's first insert; orphan reinserts on
+            # the delete path and the rollback itself must still work.
+            if record is replacement and not failed["done"]:
+                failed["done"] = True
+                raise RuntimeError("simulated mid-update failure")
+            return real_insert(self, record)
+
+        monkeypatch.setattr(RPlusTree, "insert", failing_insert)
+        with pytest.raises(RuntimeError):
+            tree.update(victim.rid, victim.point, replacement)
+        monkeypatch.undo()
+        # The victim is back in the tree; nothing was lost.
+        assert len(tree) == 300
+        leaf = tree.locate_leaf(victim.point)
+        assert leaf is not None
+        assert any(r.rid == victim.rid for r in leaf.records)
+        tree.check_invariants()
 
     def test_stats_consistency(self) -> None:
         tree = fresh_tree(k=3)

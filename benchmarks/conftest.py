@@ -16,7 +16,12 @@ runs of the same benchmark are directly diffable::
     REPRO_PROFILE=profiles PYTHONPATH=src:benchmarks \
         python -m pytest benchmarks/bench_fig7a_bulk_times.py -q
 
-Without the variable the instrumentation stays disabled and the hot paths
+Tracing: set ``REPRO_TRACE=<directory>`` to additionally record structured
+trace events (flush sweeps, splits, page I/O, releases) and write one
+Chrome-trace JSON per benchmark — load it in ``chrome://tracing`` or
+Perfetto to see where a slow figure actually spent its time.
+
+Without the variables the instrumentation stays disabled and the hot paths
 pay only their one-boolean-per-hook guard.
 """
 
@@ -34,29 +39,41 @@ from repro.bench.runner import BenchTable
 #: Directory for per-benchmark metric snapshots; falsy disables profiling.
 PROFILE_DIR = os.environ.get("REPRO_PROFILE", "")
 
+#: Directory for per-benchmark Chrome traces; falsy disables tracing.
+TRACE_DIR = os.environ.get("REPRO_TRACE", "")
 
-def _snapshot_path(directory: str) -> Path:
-    """One JSON file per currently-running test, named after the test."""
+
+def _artifact_path(directory: str, suffix: str) -> Path:
+    """One file per currently-running test, named after the test."""
     current = os.environ.get("PYTEST_CURRENT_TEST", "benchmark")
     # "benchmarks/bench_x.py::test_y (call)" -> "bench_x_test_y"
     current = current.split(" ")[0].replace(".py", "")
     name = re.sub(r"[^A-Za-z0-9_.-]+", "_", current).strip("_")
-    return Path(directory) / f"{name}.json"
+    return Path(directory) / f"{name}{suffix}"
+
+
+def _snapshot_path(directory: str) -> Path:
+    return _artifact_path(directory, ".json")
 
 
 def run_figure(benchmark, driver: Callable[[], BenchTable]) -> BenchTable:
     """Execute a figure driver once under the benchmark fixture and print it.
 
     With ``REPRO_PROFILE`` set, the driver runs instrumented and its metric
-    snapshot is written next to the benchmark results.
+    snapshot is written next to the benchmark results; with ``REPRO_TRACE``
+    set, a Chrome-trace JSON of the run is written as well.
     """
     if PROFILE_DIR:
         obs.enable()
+    if TRACE_DIR:
+        obs.TRACE.enable()
     try:
         result = benchmark.pedantic(driver, rounds=1, iterations=1)
     finally:
         if PROFILE_DIR:
             obs.disable()
+        if TRACE_DIR:
+            obs.TRACE.disable()
     print()
     result.show()
     if PROFILE_DIR:
@@ -66,6 +83,11 @@ def run_figure(benchmark, driver: Callable[[], BenchTable]) -> BenchTable:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
         print(f"[repro.obs] metrics snapshot: {path}")
+    if TRACE_DIR:
+        path = _artifact_path(TRACE_DIR, ".trace.json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        obs.TRACE.export_chrome(path)
+        print(f"[repro.obs] chrome trace: {path}")
     return result
 
 

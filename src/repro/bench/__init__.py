@@ -5,8 +5,28 @@
 each returning structured rows.  Both the ``benchmarks/`` pytest-benchmark
 suite and the ``repro`` CLI call these drivers, so an experiment always
 means the same code path regardless of how it is invoked.
+:mod:`repro.bench.regression` runs the pinned-seed core subset and
+compares it against a committed baseline (``repro bench --compare``).
 """
 
+from repro.bench.regression import (
+    ComparisonReport,
+    compare_bench,
+    core_figures,
+    load_bench,
+    run_core_bench,
+    write_bench,
+)
 from repro.bench.runner import BenchTable, Timer, environment_report
 
-__all__ = ["BenchTable", "Timer", "environment_report"]
+__all__ = [
+    "BenchTable",
+    "ComparisonReport",
+    "Timer",
+    "compare_bench",
+    "core_figures",
+    "environment_report",
+    "load_bench",
+    "run_core_bench",
+    "write_bench",
+]

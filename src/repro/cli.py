@@ -10,12 +10,17 @@
     repro stats                    # instrumented bulk-load smoke + metrics
     repro fig8b --profile          # any experiment with hot-path metrics
     repro fig7a --profile-json p.jsonl   # machine-readable snapshot trail
+    repro fig7a --trace t.json     # Chrome/Perfetto trace of the run
+    repro bench                    # pinned-seed core set -> BENCH_core.json
+    repro bench --compare BENCH_core.json   # regression report vs baseline
 
 Each experiment prints the same rows the paper plots; see EXPERIMENTS.md
 for the recorded paper-vs-measured comparison.  ``--profile`` switches the
 :mod:`repro.obs` instrumentation on for the run and prints the collected
 counters/histograms/spans afterwards; ``--profile-json`` additionally
-appends the snapshot to a JSON-lines file.
+appends the snapshot to a JSON-lines file.  ``--trace`` records structured
+span events (flush sweeps, splits, page I/O, releases) and writes a
+Chrome-trace JSON loadable in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id: 'list', 'all', 'table1', 'stats', "
+            "experiment id: 'list', 'all', 'table1', 'stats', 'bench', "
             "or one of the figure ids"
         ),
     )
@@ -67,6 +72,39 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append the metrics snapshot to a JSON-lines file (implies --profile)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record structured trace events during the run and write a "
+            "Chrome-trace JSON (open in chrome://tracing or Perfetto)"
+        ),
+    )
+    bench = parser.add_argument_group("bench (repro bench ...)")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: shrink the core set to CI-smoke size",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="bench: where to write the bench document (default BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="PATH",
+        default=None,
+        help="bench: compare against a baseline bench JSON and report regressions",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="bench: wall-clock tolerance for --compare (e.g. 1.0 = up to 2x baseline)",
+    )
     return parser
 
 
@@ -74,11 +112,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
     name = arguments.experiment.lower()
-    profiling = arguments.profile or arguments.profile_json is not None
     if name == "list":
         print("Available experiments:")
         print("  table1  (system configuration report)")
         print("  stats   (instrumented bulk-load smoke; implies --profile)")
+        print("  bench   (pinned-seed core benchmark trail; see --compare)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -86,9 +124,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     if name == "table1":
         environment_report().show()
         return 0
+    tracing = arguments.trace is not None
+    if tracing:
+        from repro import obs
+
+        obs.TRACE.enable()
+    try:
+        return _dispatch(name, arguments)
+    finally:
+        if tracing:
+            from repro import obs
+
+            obs.TRACE.export_chrome(arguments.trace)
+            print(
+                f"\ntrace written to {arguments.trace} "
+                f"({len(obs.TRACE)} events, {obs.TRACE.dropped} dropped)"
+            )
+            obs.TRACE.disable()
+
+
+def _dispatch(name: str, arguments: argparse.Namespace) -> int:
+    """Run one experiment id (tracing, if any, is already on)."""
+    profiling = arguments.profile or arguments.profile_json is not None
     if name == "stats":
         _stats_command(arguments)
         return 0
+    if name == "bench":
+        return _bench_command(arguments)
     if profiling:
         from repro import obs
 
@@ -125,6 +187,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     if profiling:
         _show_profile(name, arguments.profile_json)
     return 0
+
+
+def _bench_command(arguments: argparse.Namespace) -> int:
+    """``repro bench``: run the pinned core set, write/compare the trail.
+
+    Writes the bench document (timings + key obs counters + environment)
+    to ``--out`` (default ``BENCH_core.json``), and with ``--compare``
+    prints the per-figure regression report against a baseline, returning
+    exit code 1 when any figure regressed beyond tolerance.
+    """
+    from repro.bench.regression import (
+        DEFAULT_BENCH_PATH,
+        DEFAULT_TIME_TOLERANCE,
+        compare_bench,
+        load_bench,
+        run_core_bench,
+        write_bench,
+    )
+
+    mode = "quick" if arguments.quick else "core"
+    print(f"running the {mode} bench set (pinned seeds, instrumented)...")
+    document = run_core_bench(quick=arguments.quick)
+    out = arguments.out if arguments.out is not None else DEFAULT_BENCH_PATH
+    target = write_bench(document, out)
+    for figure, entry in document["figures"].items():  # type: ignore[union-attr]
+        print(f"  {figure}: {entry['seconds']:.3f}s")
+    print(f"bench document written to {target}")
+    if arguments.compare is None:
+        return 0
+    baseline = load_bench(arguments.compare)
+    tolerance = (
+        arguments.tolerance
+        if arguments.tolerance is not None
+        else DEFAULT_TIME_TOLERANCE
+    )
+    report = compare_bench(document, baseline, time_tolerance=tolerance)
+    print()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _stats_command(arguments: argparse.Namespace) -> None:
@@ -168,9 +269,9 @@ def _show_profile(label: str, json_path: str | None) -> None:
 
     print(obs.render_table())
     if json_path:
-        sink = obs.JsonLinesSink(json_path)
-        obs.OBS.emit(sink, label=label)
-        print(f"\nmetrics snapshot appended to {sink.path}")
+        with obs.JsonLinesSink(json_path) as sink:
+            obs.OBS.emit(sink, label=label)
+            print(f"\nmetrics snapshot appended to {sink.path}")
     obs.disable()
 
 

@@ -36,7 +36,7 @@ from repro.index.rtree import (
     RPlusTree,
 )
 from repro.index.split import SplitPolicy
-from repro.obs import OBS
+from repro.obs import AUDITOR, OBS, TRACE
 from repro.storage.buffer_pool import BufferPool
 
 #: The paper's base anonymity level for bulk loads (§5.1).
@@ -104,7 +104,9 @@ class RTreeAnonymizer:
         Returns the number of records the loader consumed.
         """
         stream = records.records if isinstance(records, Table) else records
-        with OBS.span("anonymizer.bulk_load"):
+        with OBS.span("anonymizer.bulk_load"), TRACE.span(
+            "anonymizer.bulk_load", "anonymizer"
+        ):
             return self._loader.load(stream)
 
     def bulk_load_file(
@@ -126,7 +128,9 @@ class RTreeAnonymizer:
                 f"{path} holds {reader.dimensions}-dimensional records, "
                 f"schema expects {self._schema.dimensions}"
             )
-        with OBS.span("anonymizer.bulk_load_file"):
+        with OBS.span("anonymizer.bulk_load_file"), TRACE.span(
+            "anonymizer.bulk_load_file", "anonymizer", path=path
+        ):
             return self._loader.load(
                 reader.iter_records(batch_size, first_rid=first_rid)
             )
@@ -197,7 +201,9 @@ class RTreeAnonymizer:
             raise ValueError(
                 f"cannot emit a {k}-anonymous release from {len(self._tree)} records"
             )
-        with OBS.span("anonymizer.anonymize"):
+        with OBS.span("anonymizer.anonymize"), TRACE.span(
+            "anonymizer.release", "anonymizer", k=k, strategy=strategy
+        ):
             return self._emit_release(k, compacted, constraint, strategy)
 
     def _emit_release(
@@ -240,7 +246,14 @@ class RTreeAnonymizer:
         if OBS.enabled:
             OBS.count("anonymizer.releases")
             OBS.count("anonymizer.partitions", len(partitions))
-        return AnonymizedTable(self._schema, partitions)
+        release = AnonymizedTable(self._schema, partitions)
+        # Every publish runs through the release auditor when it is on: the
+        # audit record (k verdict, occupancy/volume distributions, quality
+        # metrics) is the per-release evidence trail, and strict mode turns
+        # a failed audit into an exception at this very publish site.
+        if AUDITOR.enabled:
+            AUDITOR.on_release(release, k, base_k=self._tree.k)
+        return release
 
     def leaf_regions(self) -> list[Box]:
         """The leaves' disjoint region boxes, in leaf order.

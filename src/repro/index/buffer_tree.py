@@ -35,7 +35,7 @@ from typing import Iterable
 from repro.dataset.record import Record
 from repro.index.node import InternalNode, LeafNode, Node
 from repro.index.rtree import RPlusTree
-from repro.obs import OBS
+from repro.obs import OBS, TRACE
 from repro.storage.buffer_pool import BufferPool
 
 #: Default number of buffer pages a node may hold before it is cleared.
@@ -108,7 +108,9 @@ class BufferTreeLoader:
         the count callers should report, rather than whatever the stream's
         own metadata claims.
         """
-        with OBS.span("buffer_tree.load"):
+        with OBS.span("buffer_tree.load"), TRACE.span(
+            "buffer_tree.load", "loader"
+        ):
             consumed = self.insert_batch(records, charge_input=charge_input)
             self.drain()
         return consumed
@@ -122,7 +124,9 @@ class BufferTreeLoader:
         called some records may still sit in buffers; the tree's leaf
         partitioning only reflects fully delivered records.
         """
-        with OBS.span("buffer_tree.insert_batch"):
+        with OBS.span("buffer_tree.insert_batch"), TRACE.span(
+            "buffer_tree.insert_batch", "loader"
+        ):
             return self._insert_batch(records, charge_input)
 
     def _insert_batch(
@@ -179,11 +183,20 @@ class BufferTreeLoader:
         """
         if OBS.enabled:
             OBS.count("buffer_tree.drains")
-        with OBS.span("buffer_tree.drain"):
+        with OBS.span("buffer_tree.drain"), TRACE.span(
+            "buffer_tree.drain", "loader"
+        ):
             while self._buffers:
                 buffer = max(self._buffers.values(), key=lambda b: b.node.level)
                 if OBS.enabled:
                     OBS.count("buffer_tree.drain_sweeps")
+                if TRACE.enabled:
+                    TRACE.instant(
+                        "buffer_tree.drain_sweep",
+                        "loader",
+                        level=buffer.node.level,
+                        buffered=buffer.count,
+                    )
                 self._flush(buffer)
             # Splits deferred during bulk mode are resolved now, so the
             # occupancy invariant holds the moment the drain returns.
@@ -241,6 +254,17 @@ class BufferTreeLoader:
         is what makes immediate split propagation in the tree equivalent to
         the original algorithm's deferred restructuring.
         """
+        if not TRACE.enabled:
+            return self._flush_inner(buffer)
+        with TRACE.span(
+            "buffer_tree.flush",
+            "loader",
+            level=buffer.node.level,
+            records=buffer.count,
+        ):
+            return self._flush_inner(buffer)
+
+    def _flush_inner(self, buffer: _NodeBuffer) -> None:
         node = buffer.node
         self._buffers.pop(node.node_id, None)
         records = self._take_records(buffer)

@@ -28,6 +28,7 @@ from repro.index.buffer_tree import BufferTreeLoader
 from repro.index.hilbert import hilbert_key, quantize
 from repro.index.rtree import RPlusTree
 from repro.index.split import best_threshold
+from repro.obs import TRACE
 
 #: Grid resolution for Hilbert quantization.
 DEFAULT_HILBERT_BITS = 10
@@ -40,12 +41,13 @@ def hilbert_sorted(
     bits: int = DEFAULT_HILBERT_BITS,
 ) -> list[Record]:
     """Records sorted by their Hilbert key over the given domain box."""
-    return sorted(
-        records,
-        key=lambda record: hilbert_key(
-            quantize(record.point, lows, highs, bits), bits
-        ),
-    )
+    with TRACE.span("bulk.hilbert_sort", "bulk", records=len(records)):
+        return sorted(
+            records,
+            key=lambda record: hilbert_key(
+                quantize(record.point, lows, highs, bits), bits
+            ),
+        )
 
 
 def hilbert_partitions(
@@ -74,6 +76,13 @@ def str_partitions(
     until every group holds at most ``2k`` records, with ``k`` as the hard
     floor on both sides of every cut.
     """
+    with TRACE.span("bulk.str_partition", "bulk", records=len(records)):
+        return _str_partitions_inner(records, dimensions, k)
+
+
+def _str_partitions_inner(
+    records: Sequence[Record], dimensions: int, k: int
+) -> list[list[Record]]:
     target = 2 * k
     result: list[list[Record]] = []
     stack: list[tuple[list[Record], int]] = [(list(records), 0)]
@@ -110,10 +119,11 @@ def hilbert_bulk_load(
     **tree_kwargs: object,
 ) -> RPlusTree:
     """Build an R+-tree by buffer-loading the Hilbert-sorted stream."""
-    ordered = hilbert_sorted(records, lows, highs, bits)
-    tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
-    BufferTreeLoader(tree).load(ordered, charge_input=False)
-    return tree
+    with TRACE.span("bulk.hilbert_load", "bulk", records=len(records)):
+        ordered = hilbert_sorted(records, lows, highs, bits)
+        tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
+        BufferTreeLoader(tree).load(ordered, charge_input=False)
+        return tree
 
 
 def str_bulk_load(
@@ -123,14 +133,15 @@ def str_bulk_load(
     **tree_kwargs: object,
 ) -> RPlusTree:
     """Build an R+-tree by buffer-loading the STR-ordered stream."""
-    ordered = [
-        record
-        for group in str_partitions(records, dimensions, k)
-        for record in group
-    ]
-    tree = RPlusTree(dimensions, k, **tree_kwargs)  # type: ignore[arg-type]
-    BufferTreeLoader(tree).load(ordered, charge_input=False)
-    return tree
+    with TRACE.span("bulk.str_load", "bulk", records=len(records)):
+        ordered = [
+            record
+            for group in str_partitions(records, dimensions, k)
+            for record in group
+        ]
+        tree = RPlusTree(dimensions, k, **tree_kwargs)  # type: ignore[arg-type]
+        BufferTreeLoader(tree).load(ordered, charge_input=False)
+        return tree
 
 
 def _chunk_with_floor(ordered: Sequence[Record], k: int) -> list[list[Record]]:

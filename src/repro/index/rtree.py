@@ -37,7 +37,7 @@ from repro.index.split import (
     SplitPolicy,
     partition_records,
 )
-from repro.obs import OBS
+from repro.obs import OBS, TRACE
 
 #: Default leaf capacity multiplier: leaves hold between k and DEFAULT_CAPACITY_FACTOR * k.
 DEFAULT_CAPACITY_FACTOR = 3
@@ -222,9 +222,10 @@ class RPlusTree:
     def finish_bulk(self) -> None:
         """Leave bulk mode: split every over-capacity leaf down to size."""
         self._split_trigger = self._leaf_capacity
-        for leaf in list(self.iter_leaves()):
-            if len(leaf.records) > self._leaf_capacity:
-                self._split_leaf(leaf)
+        with TRACE.span("rtree.finish_bulk", "index"):
+            for leaf in list(self.iter_leaves()):
+                if len(leaf.records) > self._leaf_capacity:
+                    self._split_leaf(leaf)
 
     @property
     def in_bulk_mode(self) -> bool:
@@ -291,6 +292,12 @@ class RPlusTree:
     # -- splitting ---------------------------------------------------------------
 
     def _split_leaf(self, leaf: LeafNode) -> None:
+        if not TRACE.enabled:
+            return self._split_leaf_inner(leaf)
+        with TRACE.span("rtree.leaf_split", "index", records=len(leaf.records)):
+            return self._split_leaf_inner(leaf)
+
+    def _split_leaf_inner(self, leaf: LeafNode) -> None:
         decision = self._policy.choose_split(
             leaf.records, self._k, self._domain_extents
         )
@@ -298,6 +305,10 @@ class RPlusTree:
             # No legal cut: the leaf stays over-full, which is privacy-safe.
             if OBS.enabled:
                 OBS.count("rtree.split_refusals")
+            if TRACE.enabled:
+                TRACE.instant(
+                    "rtree.split_refusal", "index", records=len(leaf.records)
+                )
             return
         if OBS.enabled:
             OBS.count("rtree.leaf_splits")
@@ -325,6 +336,8 @@ class RPlusTree:
         if OBS.enabled:
             OBS.count("rtree.internal_splits")
             OBS.count("rtree.mbr_recomputations", 2)
+        if TRACE.enabled:
+            TRACE.instant("rtree.internal_split", "index", level=node.level)
         cut_root = node.cuts.inner
         if not isinstance(cut_root, Cut):
             raise AssertionError("an overflowing internal node must hold a cut")
@@ -395,6 +408,10 @@ class RPlusTree:
         if OBS.enabled:
             OBS.count("rtree.dissolves")
             OBS.count("rtree.reinserted_orphans", len(orphans))
+        if TRACE.enabled:
+            TRACE.instant(
+                "rtree.underflow_dissolve", "index", orphans=len(orphans)
+            )
         leaf.records = []
         self._dissolve_leaf(leaf)
         self._count -= len(orphans)

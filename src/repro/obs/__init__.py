@@ -1,9 +1,19 @@
 """repro.obs — observability for the index/loader/storage stack.
 
-One process-wide :class:`~repro.obs.registry.MetricsRegistry` singleton,
-:data:`OBS`, that the hot paths hook into behind ``if OBS.enabled:``
-guards.  Collection is off by default and costs one attribute check per
-hook while off; switch it on around the work you want to measure::
+Three process-wide singletons, each off by default and guarded by one
+boolean check per hook while off:
+
+* :data:`OBS` — the :class:`~repro.obs.registry.MetricsRegistry` of
+  aggregate counters, gauges, histograms and span rollups;
+* :data:`TRACE` — the :class:`~repro.obs.trace.Tracer`, a bounded
+  ring buffer of *individual* timed events exportable to Chrome/Perfetto
+  ``traceEvents`` JSON (``repro <experiment> --trace out.json``);
+* :data:`AUDITOR` — the :class:`~repro.obs.audit.ReleaseAuditor`, which
+  builds one structured privacy-audit record per published release (k
+  verdict, occupancy/volume distributions, quality metrics) and can gate
+  publishes in strict mode.
+
+Metrics usage::
 
     from repro import obs
 
@@ -18,23 +28,40 @@ Snapshots can also be pushed through pluggable sinks
 :class:`~repro.obs.sinks.TableSink` for humans,
 :class:`~repro.obs.sinks.InMemorySink` for tests and deltas).  The
 benchmark suite writes one snapshot per figure when ``REPRO_PROFILE`` is
-set, and the CLI exposes the same machinery as ``--profile`` /
-``--profile-json`` and the ``repro stats`` smoke command.
+set (and one trace per figure when ``REPRO_TRACE`` is set), and the CLI
+exposes the same machinery as ``--profile`` / ``--profile-json`` /
+``--trace`` and the ``repro stats`` / ``repro bench`` commands.
 """
 
 from __future__ import annotations
 
+from repro.obs.audit import (
+    AUDIT_RECORD_KEYS,
+    AUDIT_SCHEMA_VERSION,
+    AuditFailure,
+    ReleaseAuditor,
+    audit_release,
+)
 from repro.obs.registry import (
     DEFAULT_COUNTERS,
     DEFAULT_HISTOGRAMS,
     DEFAULT_METRICS,
     Histogram,
     MetricsRegistry,
+    environment_block,
 )
+from repro.obs.render import render_snapshot
 from repro.obs.sinks import InMemorySink, JsonLinesSink, Sink, TableSink
+from repro.obs.trace import TraceEvent, Tracer, validate_chrome_trace
 
 #: The process-wide registry every built-in hook reports to.
 OBS = MetricsRegistry()
+
+#: The process-wide event tracer the built-in hooks record spans into.
+TRACE = Tracer()
+
+#: The process-wide release auditor the anonymizer publishes through.
+AUDITOR = ReleaseAuditor()
 
 
 def enable(reset: bool = True) -> None:
@@ -63,6 +90,10 @@ def render_table() -> str:
 
 
 __all__ = [
+    "AUDIT_RECORD_KEYS",
+    "AUDIT_SCHEMA_VERSION",
+    "AUDITOR",
+    "AuditFailure",
     "DEFAULT_COUNTERS",
     "DEFAULT_HISTOGRAMS",
     "DEFAULT_METRICS",
@@ -71,11 +102,19 @@ __all__ = [
     "JsonLinesSink",
     "MetricsRegistry",
     "OBS",
+    "ReleaseAuditor",
     "Sink",
+    "TRACE",
     "TableSink",
+    "TraceEvent",
+    "Tracer",
+    "audit_release",
     "disable",
     "enable",
+    "environment_block",
+    "render_snapshot",
     "render_table",
     "reset",
     "snapshot",
+    "validate_chrome_trace",
 ]

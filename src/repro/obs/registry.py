@@ -25,8 +25,12 @@ so snapshots are schema-stable even for runs that never touch a given path
 
 from __future__ import annotations
 
+import platform
+import subprocess
+import sys
 import time
-from typing import TYPE_CHECKING, Iterable, Mapping
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.sinks import Sink
@@ -173,6 +177,50 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+#: Cached ``git rev-parse`` result; resolved at most once per process.
+_GIT_REVISION: str | None = None
+_GIT_REVISION_RESOLVED = False
+
+
+def _git_revision() -> str | None:
+    """The current short git revision, or None outside a repository."""
+    global _GIT_REVISION, _GIT_REVISION_RESOLVED
+    if not _GIT_REVISION_RESOLVED:
+        _GIT_REVISION_RESOLVED = True
+        try:
+            _GIT_REVISION = (
+                subprocess.run(
+                    ["git", "rev-parse", "--short", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    timeout=5,
+                    check=True,
+                ).stdout.strip()
+                or None
+            )
+        except Exception:
+            _GIT_REVISION = None
+    return _GIT_REVISION
+
+
+def environment_block() -> dict[str, object]:
+    """Machine/run metadata stamped onto every snapshot.
+
+    Makes ``--profile-json`` trails (and the bench trajectory) from
+    different machines comparable: a slower run is explainable when the
+    snapshot says which interpreter, platform and revision produced it.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pointer_bits": sys.maxsize.bit_length() + 1,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_revision": _git_revision(),
+    }
+
+
 class MetricsRegistry:
     """Counters, gauges, histograms and spans behind one enable switch.
 
@@ -266,7 +314,12 @@ class MetricsRegistry:
         return self._histograms.get(name)
 
     def snapshot(self, label: str | None = None) -> dict[str, object]:
-        """A JSON-serializable copy of everything collected so far."""
+        """A JSON-serializable copy of everything collected so far.
+
+        Every snapshot carries an ``environment`` block (interpreter,
+        platform, timestamp, git revision) so trails recorded on different
+        machines remain comparable.
+        """
         snapshot: dict[str, object] = {
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
@@ -278,6 +331,7 @@ class MetricsRegistry:
                 path: aggregate.as_dict()
                 for path, aggregate in sorted(self._spans.items())
             },
+            "environment": environment_block(),
         }
         if label is not None:
             snapshot["label"] = label
@@ -288,36 +342,12 @@ class MetricsRegistry:
         sink.emit(self.snapshot(label))
 
     def render_table(self) -> str:
-        """A human-readable multi-section table of the current snapshot."""
-        lines: list[str] = []
+        """A human-readable multi-section table of the current snapshot.
 
-        def section(title: str, rows: Mapping[str, object]) -> None:
-            if not rows:
-                return
-            lines.append(f"== {title} ==")
-            width = max(len(name) for name in rows)
-            for name, value in rows.items():
-                lines.append(f"  {name.ljust(width)}  {value}")
+        Delegates to :func:`repro.obs.render.render_snapshot`, the same
+        renderer :class:`~repro.obs.sinks.TableSink` uses, so the two
+        outputs can never drift apart.
+        """
+        from repro.obs.render import render_snapshot
 
-        section("counters", dict(sorted(self._counters.items())))
-        gauges = {
-            name: f"{value:g}" for name, value in sorted(self._gauges.items())
-        }
-        section("gauges", gauges)
-        histograms = {
-            name: (
-                f"count={h.count} mean={h.mean:.2f} "
-                f"min={h.minimum if h.count else 0:g} "
-                f"max={h.maximum if h.count else 0:g}"
-            )
-            for name, h in sorted(self._histograms.items())
-        }
-        section("histograms", histograms)
-        spans = {
-            path: f"count={a.count} total={a.total:.4f}s"
-            for path, a in sorted(self._spans.items())
-        }
-        section("spans", spans)
-        if not lines:
-            return "(no metrics collected)"
-        return "\n".join(lines)
+        return render_snapshot(self.snapshot())

@@ -1,0 +1,67 @@
+"""The one human-readable table renderer for metrics snapshots.
+
+Both :meth:`~repro.obs.registry.MetricsRegistry.render_table` and
+:class:`~repro.obs.sinks.TableSink` delegate here, so the ``--profile``
+output and a rendered snapshot file are always formatted identically.
+The input is the JSON-serializable dict produced by
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def _section(lines: list[str], title: str, rows: Mapping[str, str]) -> None:
+    if not rows:
+        return
+    lines.append(f"== {title} ==")
+    width = max(len(name) for name in rows)
+    for name, value in rows.items():
+        lines.append(f"  {name.ljust(width)}  {value}")
+
+
+def render_snapshot(snapshot: Mapping[str, object]) -> str:
+    """Render a metrics snapshot as aligned multi-section text."""
+    lines: list[str] = []
+    label = snapshot.get("label")
+    if label:
+        lines.append(f"-- metrics: {label} --")
+    counters = snapshot.get("counters") or {}
+    _section(
+        lines, "counters", {name: str(value) for name, value in counters.items()}  # type: ignore[union-attr]
+    )
+    gauges = snapshot.get("gauges") or {}
+    _section(
+        lines, "gauges", {name: f"{value:g}" for name, value in gauges.items()}  # type: ignore[union-attr]
+    )
+    histograms = snapshot.get("histograms") or {}
+    _section(
+        lines,
+        "histograms",
+        {
+            name: (
+                f"count={h['count']} mean={h['mean']:.2f} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+            for name, h in histograms.items()  # type: ignore[union-attr]
+        },
+    )
+    spans = snapshot.get("spans") or {}
+    _section(
+        lines,
+        "spans",
+        {
+            path: f"count={aggregate['count']} total={aggregate['total_s']:.4f}s"
+            for path, aggregate in spans.items()  # type: ignore[union-attr]
+        },
+    )
+    if not lines or (len(lines) == 1 and label):
+        return "(no metrics collected)"
+    environment = snapshot.get("environment") or {}
+    _section(
+        lines,
+        "environment",
+        {name: str(value) for name, value in environment.items()},  # type: ignore[union-attr]
+    )
+    return "\n".join(lines)

@@ -18,6 +18,8 @@ import sys
 from pathlib import Path
 from typing import IO, Protocol
 
+from repro.obs.render import render_snapshot
+
 
 class Sink(Protocol):
     """Anything that can receive a metrics snapshot."""
@@ -42,57 +44,60 @@ class InMemorySink:
 
 
 class JsonLinesSink:
-    """Append snapshots to a JSON-lines file (one object per line)."""
+    """Append snapshots to a JSON-lines file (one object per line).
+
+    The file handle is opened once and held for the sink's lifetime —
+    emitting N snapshots costs one open, not N — and each emit is flushed
+    so the trail is durable even if the process dies mid-run.  Close the
+    sink when done (or use it as a context manager); emitting after close
+    raises ``ValueError``.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = open(
+            self._path, "a", encoding="utf-8"
+        )
 
     @property
     def path(self) -> Path:
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
     def emit(self, snapshot: dict[str, object]) -> None:
-        with open(self._path, "a", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, sort_keys=True)
-            handle.write("\n")
+        if self._handle is None:
+            raise ValueError(f"sink for {self._path} is closed")
+        json.dump(snapshot, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the file handle; idempotent."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class TableSink:
-    """Render snapshots as aligned human-readable tables on a stream."""
+    """Render snapshots as aligned human-readable tables on a stream.
+
+    Delegates to :func:`repro.obs.render.render_snapshot` — the same
+    renderer behind :meth:`MetricsRegistry.render_table` — so the sink's
+    output and the registry's are formatted identically.
+    """
 
     def __init__(self, stream: IO[str] | None = None) -> None:
         self._stream = stream if stream is not None else sys.stdout
 
     def emit(self, snapshot: dict[str, object]) -> None:
-        label = snapshot.get("label")
-        if label:
-            print(f"-- metrics: {label} --", file=self._stream)
-        for section in ("counters", "gauges"):
-            rows = snapshot.get(section) or {}
-            if not rows:
-                continue
-            print(f"== {section} ==", file=self._stream)
-            width = max(len(name) for name in rows)  # type: ignore[arg-type]
-            for name, value in rows.items():  # type: ignore[union-attr]
-                print(f"  {name.ljust(width)}  {value}", file=self._stream)
-        histograms = snapshot.get("histograms") or {}
-        if histograms:
-            print("== histograms ==", file=self._stream)
-            width = max(len(name) for name in histograms)  # type: ignore[arg-type]
-            for name, h in histograms.items():  # type: ignore[union-attr]
-                print(
-                    f"  {name.ljust(width)}  count={h['count']} "  # type: ignore[index]
-                    f"mean={h['mean']:.2f} min={h['min']:g} max={h['max']:g}",
-                    file=self._stream,
-                )
-        spans = snapshot.get("spans") or {}
-        if spans:
-            print("== spans ==", file=self._stream)
-            width = max(len(path) for path in spans)  # type: ignore[arg-type]
-            for path, aggregate in spans.items():  # type: ignore[union-attr]
-                print(
-                    f"  {path.ljust(width)}  count={aggregate['count']} "  # type: ignore[index]
-                    f"total={aggregate['total_s']:.4f}s",
-                    file=self._stream,
-                )
+        print(render_snapshot(snapshot), file=self._stream)

@@ -1,0 +1,290 @@
+"""Event tracing: individual timed spans in a bounded ring buffer.
+
+The :class:`~repro.obs.registry.MetricsRegistry` answers "how many flushes
+and how long in total"; this module answers "*which* flush sweep stalled
+the bulk load at second three".  A :class:`Tracer` records one
+:class:`TraceEvent` per instrumented span — name, arguments, start time,
+duration, parent span — in a fixed-capacity ring buffer (old events are
+dropped, never reallocated), and exports the buffer as Chrome/Perfetto
+``traceEvents`` JSON so any run can be opened in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+Design constraints mirror the registry's:
+
+1. **Zero overhead when disabled.**  Hooks guard with ``if TRACE.enabled:``
+   (one boolean test); :meth:`Tracer.span` hands out a shared no-op context
+   manager while disabled, so unguarded ``with TRACE.span(...)`` sites pay
+   one method call and one attribute check.
+2. **Bounded memory.**  The buffer is a ``deque(maxlen=capacity)``; a
+   100M-record load cannot OOM the tracer, it merely keeps the most recent
+   ``capacity`` events (the number dropped is reported on export).
+3. **Standard library only** — importable from every layer.
+
+The process-wide instance is :data:`repro.obs.TRACE`; the CLI switches it
+on for any experiment with ``--trace out.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable
+
+#: Default ring-buffer capacity (events); ~65k complete spans.
+DEFAULT_CAPACITY = 65_536
+
+
+class TraceEvent:
+    """One recorded span or instant: who ran, when, for how long, under whom."""
+
+    __slots__ = ("name", "category", "start_us", "duration_us", "parent", "args")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start_us: float,
+        duration_us: float,
+        parent: str | None,
+        args: dict[str, object] | None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start_us = start_us
+        self.duration_us = duration_us
+        self.parent = parent
+        self.args = args
+
+    @property
+    def is_instant(self) -> bool:
+        """True for zero-duration point events (``Tracer.instant``)."""
+        return self.duration_us < 0
+
+    def as_chrome(self) -> dict[str, object]:
+        """This event in Chrome ``traceEvents`` form (``ph`` X or i)."""
+        event: dict[str, object] = {
+            "name": self.name,
+            "cat": self.category or "repro",
+            "ts": self.start_us,
+            "pid": 1,
+            "tid": 1,
+        }
+        if self.is_instant:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = self.duration_us
+        args = dict(self.args) if self.args else {}
+        if self.parent is not None:
+            args["parent"] = self.parent
+        if args:
+            event["args"] = args
+        return event
+
+
+class _TraceSpan:
+    """A live span; appends one event to the tracer's ring buffer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start", "_parent")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        args: dict[str, object] | None,
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+        self._start = 0.0
+        self._parent: str | None = None
+
+    def __enter__(self) -> "_TraceSpan":
+        stack = self._tracer._stack
+        self._parent = stack[-1] if stack else None
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] == self._name:
+            tracer._stack.pop()
+        tracer._record(
+            TraceEvent(
+                self._name,
+                self._category,
+                (self._start - tracer._epoch) * 1e6,
+                (end - self._start) * 1e6,
+                self._parent,
+                self._args,
+            )
+        )
+
+
+class _NullTraceSpan:
+    """The shared do-nothing span handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTraceSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_TRACE_SPAN = _NullTraceSpan()
+
+
+class Tracer:
+    """A bounded event tracer behind one enable switch.
+
+    Like the metrics registry, the tracer assumes call sites guard updates
+    with ``if tracer.enabled:``; :meth:`span` performs its own check so it
+    can be used unguarded in ``with`` statements.
+    """
+
+    __slots__ = ("enabled", "_events", "_stack", "_epoch", "_recorded")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.enabled = False
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._stack: list[str] = []
+        self._epoch = time.perf_counter()
+        self._recorded = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, capacity: int | None = None, reset: bool = True) -> None:
+        """Switch recording on; by default starts from an empty buffer."""
+        if capacity is not None:
+            if capacity < 1:
+                raise ValueError("capacity must be at least 1")
+            self._events = deque(self._events, maxlen=capacity)
+        if reset:
+            self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Switch recording off; buffered events remain exportable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every buffered event and restart the clock."""
+        self._events.clear()
+        self._stack.clear()
+        self._recorded = 0
+        self._epoch = time.perf_counter()
+
+    # -- recording (guard with ``if tracer.enabled`` except for span()) ------
+
+    def span(
+        self, name: str, category: str = "", **args: object
+    ) -> "_TraceSpan | _NullTraceSpan":
+        """A timed context manager; a shared no-op while disabled."""
+        if not self.enabled:
+            return NULL_TRACE_SPAN
+        return _TraceSpan(self, name, category, args or None)
+
+    def instant(self, name: str, category: str = "", **args: object) -> None:
+        """Record a zero-duration point event (call sites must guard)."""
+        self._record(
+            TraceEvent(
+                name,
+                category,
+                (time.perf_counter() - self._epoch) * 1e6,
+                -1.0,
+                self._stack[-1] if self._stack else None,
+                args or None,
+            )
+        )
+
+    def _record(self, event: TraceEvent) -> None:
+        self._recorded += 1
+        self._events.append(event)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._events.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """How many events the ring buffer has overwritten."""
+        return self._recorded - len(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def event_names(self) -> set[str]:
+        """Distinct event names currently buffered (tests, assertions)."""
+        return {event.name for event in self._events}
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome(self) -> dict[str, object]:
+        """The buffer as a Chrome/Perfetto ``traceEvents`` document."""
+        events = sorted(self._events, key=lambda event: event.start_us)
+        return {
+            "traceEvents": [event.as_chrome() for event in events],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "recorded": self._recorded,
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            },
+        }
+
+    def export_chrome(self, target: str | Path | IO[str]) -> Path | None:
+        """Write the ``traceEvents`` JSON to a path or an open stream.
+
+        Returns the path written, or None when given a stream.  Open the
+        result in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        document = self.to_chrome()
+        if hasattr(target, "write"):
+            json.dump(document, target)  # type: ignore[arg-type]
+            return None
+        path = Path(target)  # type: ignore[arg-type]
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return path
+
+
+def validate_chrome_trace(document: dict[str, object]) -> list[str]:
+    """Structural check of an exported trace; returns problem messages.
+
+    Used by tests and the CI smoke to assert export round-trips: the
+    document must carry a ``traceEvents`` list whose entries have the
+    ``ph``/``ts``/``name`` keys (and ``dur`` for complete events).
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("ph", "ts", "name"):
+            if key not in event:
+                problems.append(f"event {index} is missing {key!r}")
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"complete event {index} is missing 'dur'")
+    return problems

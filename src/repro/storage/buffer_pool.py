@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generic, TypeVar
 
-from repro.obs import OBS
+from repro.obs import OBS, TRACE
 from repro.storage.page import Page
 from repro.storage.pagefile import PageFile
 
@@ -91,19 +91,22 @@ class BufferPool(Generic[ItemT]):
 
     def flush(self) -> None:
         """Write back every dirty cached page (end-of-load barrier)."""
-        for page_id in sorted(self._dirty):
-            page = self._cached.get(page_id)
-            if page is not None:
-                if OBS.enabled:
-                    OBS.count("pool.writebacks")
-                self._pagefile.write_page(page)
-        self._dirty.clear()
+        with TRACE.span("pool.flush", "storage", dirty=len(self._dirty)):
+            for page_id in sorted(self._dirty):
+                page = self._cached.get(page_id)
+                if page is not None:
+                    if OBS.enabled:
+                        OBS.count("pool.writebacks")
+                    self._pagefile.write_page(page)
+            self._dirty.clear()
 
     def _admit(self, page: Page[ItemT], dirty: bool) -> None:
         while len(self._cached) >= self._capacity:
             victim_id, victim = self._cached.popitem(last=False)
             if OBS.enabled:
                 OBS.count("pool.evictions")
+            if TRACE.enabled:
+                TRACE.instant("pool.eviction", "storage", page_id=victim_id)
             if victim_id in self._dirty:
                 if OBS.enabled:
                     OBS.count("pool.writebacks")

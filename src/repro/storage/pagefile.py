@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
-from repro.obs import OBS
+from repro.obs import OBS, TRACE
 from repro.storage.page import Page
 
 ItemT = TypeVar("ItemT")
@@ -86,6 +86,8 @@ class PageFile(Generic[ItemT]):
         self.stats.reads += 1
         if OBS.enabled:
             OBS.count("page.reads")
+        if TRACE.enabled:
+            TRACE.instant("page.read", "storage", page_id=page_id)
         return self._pages[page_id]
 
     def write_page(self, page: Page[ItemT]) -> None:
@@ -93,6 +95,8 @@ class PageFile(Generic[ItemT]):
         self.stats.writes += 1
         if OBS.enabled:
             OBS.count("page.writes")
+        if TRACE.enabled:
+            TRACE.instant("page.write", "storage", page_id=page.page_id)
         self._pages[page.page_id] = page
 
     def free(self, page_id: int) -> None:

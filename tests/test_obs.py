@@ -117,6 +117,29 @@ class TestRegistry:
             pass
         json.dumps(registry.snapshot("labelled"))
 
+    def test_snapshot_carries_environment_block(self) -> None:
+        import platform
+
+        registry = MetricsRegistry()
+        environment = registry.snapshot()["environment"]
+        assert environment["python"] == platform.python_version()
+        assert environment["timestamp"]
+        # git_revision may be None outside a repo, but the key must exist.
+        assert "git_revision" in environment
+
+    def test_render_table_and_table_sink_share_one_renderer(self) -> None:
+        import io
+
+        from repro.obs.render import render_snapshot
+
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("x", 2)
+        snapshot = registry.snapshot()
+        stream = io.StringIO()
+        TableSink(stream).emit(snapshot)
+        assert render_snapshot(snapshot) + "\n" == stream.getvalue()
+
 
 class TestSinks:
     def test_in_memory_sink(self) -> None:
@@ -143,6 +166,45 @@ class TestSinks:
         first = json.loads(lines[0])
         assert first["label"] == "a"
         assert first["counters"]["x"] == 9
+
+    def test_jsonl_sink_holds_one_handle_and_closes(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("x")
+        sink = JsonLinesSink(tmp_path / "metrics.jsonl")
+        assert not sink.closed
+        registry.emit(sink)
+        # Each emit is flushed, so the line is durable before close().
+        assert (tmp_path / "metrics.jsonl").read_text().count("\n") == 1
+        sink.close()
+        assert sink.closed
+        sink.close()  # idempotent
+
+    def test_jsonl_sink_rejects_emit_after_close(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        sink = JsonLinesSink(tmp_path / "metrics.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            registry.emit(sink)
+
+    def test_jsonl_sink_context_manager_closes(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        with JsonLinesSink(tmp_path / "metrics.jsonl") as sink:
+            registry.emit(sink)
+        assert sink.closed
+
+    def test_jsonl_sink_unwritable_path_fails_at_construction(
+        self, tmp_path
+    ) -> None:
+        # The target's parent is a *file*, so the sink cannot be opened:
+        # the failure must surface when the sink is built, not on a later
+        # emit deep inside an instrumented run.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(OSError):
+            JsonLinesSink(blocker / "metrics.jsonl")
 
     def test_table_sink_writes_stream(self) -> None:
         import io

@@ -1,0 +1,181 @@
+"""The event tracer: ring buffer, span nesting, Chrome export, CLI wiring."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.dataset.table import Table
+from repro.obs import TRACE, Tracer, validate_chrome_trace
+from repro.obs.trace import NULL_TRACE_SPAN
+
+from tests.conftest import random_records
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    """Keep the process-wide tracer off between tests."""
+    yield
+    TRACE.disable()
+    TRACE.reset()
+
+
+class TestTracer:
+    def test_disabled_by_default_and_span_is_shared_noop(self) -> None:
+        tracer = Tracer()
+        assert not tracer.enabled
+        assert tracer.span("anything") is NULL_TRACE_SPAN
+        with tracer.span("anything", "cat", key=1):
+            pass
+        assert len(tracer) == 0
+
+    def test_span_records_event_with_timing(self) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", "test", items=3):
+            pass
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.category == "test"
+        assert event.args == {"items": 3}
+        assert event.duration_us >= 0
+        assert not event.is_instant
+
+    def test_nested_spans_record_parent(self) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            tracer.instant("ping")
+        by_name = {event.name: event for event in tracer.events()}
+        assert by_name["outer"].parent is None
+        assert by_name["inner"].parent == "outer"
+        assert by_name["ping"].parent == "outer"
+        assert by_name["ping"].is_instant
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self) -> None:
+        tracer = Tracer(capacity=8)
+        tracer.enable()
+        for index in range(20):
+            tracer.instant(f"event-{index}")
+        assert len(tracer) == 8
+        assert tracer.dropped == 12
+        # The buffer keeps the most recent events.
+        assert tracer.event_names() == {f"event-{index}" for index in range(12, 20)}
+
+    def test_enable_can_resize_capacity(self) -> None:
+        tracer = Tracer(capacity=4)
+        tracer.enable(capacity=2)
+        assert tracer.capacity == 2
+        with pytest.raises(ValueError):
+            tracer.enable(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_reset_restarts_clock_and_empties_buffer(self) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("before")
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        tracer.instant("after")
+        assert tracer.event_names() == {"after"}
+
+
+class TestChromeExport:
+    def test_round_trip_through_json_validates(self, tmp_path) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("load", "loader", records=10):
+            tracer.instant("sweep", "loader", level=0)
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+        events = document["traceEvents"]
+        assert {event["name"] for event in events} == {"load", "sweep"}
+        complete = next(e for e in events if e["name"] == "load")
+        assert complete["ph"] == "X"
+        assert complete["dur"] >= 0
+        assert complete["args"] == {"records": 10}
+        instant = next(e for e in events if e["name"] == "sweep")
+        assert instant["ph"] == "i"
+        assert instant["args"] == {"level": 0, "parent": "load"}
+        assert document["otherData"]["dropped"] == 0
+
+    def test_export_to_stream(self) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("only")
+        stream = io.StringIO()
+        assert tracer.export_chrome(stream) is None
+        document = json.loads(stream.getvalue())
+        assert validate_chrome_trace(document) == []
+
+    def test_events_sorted_by_start_time(self) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        # The outer span finishes last but started first: export must
+        # re-sort by start so the timeline reads left to right.
+        with tracer.span("outer"):
+            tracer.instant("early")
+        timestamps = [
+            event["ts"] for event in tracer.to_chrome()["traceEvents"]
+        ]
+        assert timestamps == sorted(timestamps)
+
+    def test_validator_reports_malformed_documents(self) -> None:
+        assert validate_chrome_trace({}) == ["document has no traceEvents list"]
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0.0}, "nonsense"]}
+        )
+        assert any("missing 'name'" in problem for problem in problems)
+        assert any("missing 'dur'" in problem for problem in problems)
+        assert any("not an object" in problem for problem in problems)
+
+
+class TestInstrumentedPaths:
+    def test_bulk_load_traces_flushes_and_splits(self, schema3) -> None:
+        table = Table(schema3, random_records(1_500, seed=7))
+        TRACE.enable()
+        anonymizer = RTreeAnonymizer(table, base_k=5, leaf_capacity=9)
+        anonymizer.bulk_load(table)
+        anonymizer.anonymize(10)
+        TRACE.disable()
+        names = TRACE.event_names()
+        assert "anonymizer.bulk_load" in names
+        assert "buffer_tree.flush" in names
+        assert "buffer_tree.drain_sweep" in names
+        assert "rtree.leaf_split" in names
+        assert "anonymizer.release" in names
+
+    def test_disabled_tracer_records_nothing_on_hot_paths(self, schema3) -> None:
+        table = Table(schema3, random_records(600, seed=8))
+        assert not TRACE.enabled
+        anonymizer = RTreeAnonymizer(table, base_k=5, leaf_capacity=9)
+        anonymizer.bulk_load(table)
+        anonymizer.anonymize(5)
+        assert len(TRACE) == 0
+
+
+class TestCLITrace:
+    def test_fig7a_trace_flag_writes_valid_chrome_json(self, tmp_path) -> None:
+        from repro.cli import main
+
+        target = tmp_path / "fig7a.trace.json"
+        exit_code = main(
+            ["fig7a", "--records", "1000", "--trace", str(target)]
+        )
+        assert exit_code == 0
+        document = json.loads(target.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "buffer_tree.flush" in names
+        assert "rtree.leaf_split" in names
+        # The CLI turns the tracer back off after exporting.
+        assert not obs.TRACE.enabled

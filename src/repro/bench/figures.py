@@ -120,6 +120,61 @@ def fig7a_bulk_times(
     return result
 
 
+def fig7a_parallel(
+    records: int = DEFAULT_RECORDS,
+    k: int = 5,
+    workers: Sequence[int] = (1, 2, 4),
+    seed: int = 1,
+) -> BenchTable:
+    """Figure 7(a) companion: sharded parallel bulk load across worker counts.
+
+    Stages the Lands End table as a binary record file, then bulk-loads it
+    through the sharded engine (:mod:`repro.parallel`) at each worker
+    count — workers stream their own slices of the file, key and sort
+    their shards, and the parent replays the stitched stream.  The first
+    row (``workers=1``) is the in-process serial reference; the engine
+    guarantees every worker count builds the identical index, so the
+    ``digest match`` column must read ``yes`` all the way down — this is
+    the serial/parallel differential in bench form, run on every
+    ``repro bench`` alongside the wall-clock trail.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.partition import release_digest
+    from repro.dataset.io import write_table
+
+    table = LandsEndGenerator(seed).generate(records)
+    result = BenchTable(
+        f"Figure 7(a) companion: sharded parallel bulk load, "
+        f"{records:,} Lands End records",
+        ["workers", "build (s)", "speedup", "leaves", "digest match"],
+    )
+    with tempfile.TemporaryDirectory() as staging:
+        path = str(Path(staging) / "landsend.records")
+        write_table(table, path)
+        reference_digest: str | None = None
+        reference_seconds = 0.0
+        for count in workers:
+            with Timer() as timer:
+                anonymizer = RTreeAnonymizer(
+                    table, base_k=k, leaf_capacity=2 * k - 1
+                )
+                anonymizer.bulk_load_file(path, workers=count)
+            digest = release_digest(anonymizer.anonymize(k))
+            if reference_digest is None:
+                reference_digest = digest
+                reference_seconds = timer.elapsed
+            result.add(
+                count,
+                timer.elapsed,
+                reference_seconds / timer.elapsed if timer.elapsed > 0 else 0.0,
+                anonymizer.leaf_count(),
+                "yes" if digest == reference_digest else "NO",
+            )
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Figure 7(b): incremental anonymization time per batch
 # ---------------------------------------------------------------------------
@@ -888,6 +943,7 @@ def multigranular_report(
 #: Registry used by the CLI: name -> driver.
 DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "fig7a": fig7a_bulk_times,
+    "fig7a_parallel": fig7a_parallel,
     "fig7b": fig7b_incremental_times,
     "fig8a": fig8a_scaling,
     "fig8b": fig8b_io_costs,

@@ -57,6 +57,8 @@ KEY_COUNTERS: tuple[str, ...] = (
     "page.writes",
     "anonymizer.releases",
     "anonymizer.partitions",
+    "parallel.shards",
+    "parallel.shard_records",
 )
 
 
@@ -71,12 +73,14 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
     if quick:
         return [
             ("fig7a", {"records": 4_000, "ks": (5, 25, 100), "seed": 1}),
+            ("fig7a_parallel", {"records": 4_000, "workers": (1, 2), "seed": 1}),
             ("fig8a", {"sizes": (2_000, 4_000), "k": 10, "seed": 3}),
             ("fig8b", {"records": 4_000, "k": 10, "seed": 3}),
             ("fig10", {"records": 4_000, "ks": (10,), "seed": 1}),
         ]
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
+        ("fig7a_parallel", {"records": 20_000, "workers": (1, 2, 4), "seed": 1}),
         ("fig8a", {"sizes": (10_000, 20_000), "k": 10, "seed": 3}),
         ("fig8b", {"records": 20_000, "k": 10, "seed": 3}),
         ("fig10", {"records": 20_000, "ks": (10, 50), "seed": 1}),

@@ -13,6 +13,8 @@
     repro fig7a --trace t.json     # Chrome/Perfetto trace of the run
     repro bench                    # pinned-seed core set -> BENCH_core.json
     repro bench --compare BENCH_core.json   # regression report vs baseline
+    repro anonymize --workers 4    # sharded parallel bulk anonymization
+    repro anonymize --workers 4 --dataset census --records 20000 --k 10
 
 Each experiment prints the same rows the paper plots; see EXPERIMENTS.md
 for the recorded paper-vs-measured comparison.  ``--profile`` switches the
@@ -81,6 +83,32 @@ def _build_parser() -> argparse.ArgumentParser:
             "Chrome-trace JSON (open in chrome://tracing or Perfetto)"
         ),
     )
+    anonymize = parser.add_argument_group("anonymize (repro anonymize ...)")
+    anonymize.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "anonymize: worker processes for the sharded parallel engine "
+            "(1 = the same pipeline in-process; output is identical for "
+            "every worker count)"
+        ),
+    )
+    anonymize.add_argument(
+        "--dataset",
+        choices=("landsend", "census", "agrawal"),
+        default="landsend",
+        help="anonymize: which generator supplies the records (and the schema)",
+    )
+    anonymize.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help=(
+            "anonymize: bulk-load this binary record file instead of "
+            "generating one (must match the --dataset schema)"
+        ),
+    )
     bench = parser.add_argument_group("bench (repro bench ...)")
     bench.add_argument(
         "--quick",
@@ -117,6 +145,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("  table1  (system configuration report)")
         print("  stats   (instrumented bulk-load smoke; implies --profile)")
         print("  bench   (pinned-seed core benchmark trail; see --compare)")
+        print("  anonymize (sharded parallel bulk anonymization; see --workers)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -151,6 +180,8 @@ def _dispatch(name: str, arguments: argparse.Namespace) -> int:
         return 0
     if name == "bench":
         return _bench_command(arguments)
+    if name == "anonymize":
+        return _anonymize_command(arguments)
     if profiling:
         from repro import obs
 
@@ -226,6 +257,81 @@ def _bench_command(arguments: argparse.Namespace) -> int:
     print()
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _anonymize_command(arguments: argparse.Namespace) -> int:
+    """``repro anonymize``: one sharded bulk-anonymization run, audited.
+
+    Generates the chosen dataset (or takes ``--input``), stages it as a
+    binary record file, bulk-loads it through
+    :meth:`RTreeAnonymizer.bulk_load_file` with ``--workers`` processes,
+    and publishes one k-anonymous release under the release auditor.  The
+    printed release digest is a sha256 over the published partitions —
+    runs at different worker counts print the *same* digest (the engine's
+    determinism guarantee), which is exactly what the CI differential leg
+    compares.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro import obs
+    from repro.core.anonymizer import DEFAULT_BASE_K, RTreeAnonymizer
+    from repro.core.partition import release_digest
+    from repro.dataset.agrawal import make_agrawal_table
+    from repro.dataset.census import make_census_table
+    from repro.dataset.io import write_table
+    from repro.dataset.landsend import make_landsend_table
+
+    makers = {
+        "landsend": make_landsend_table,
+        "census": make_census_table,
+        "agrawal": make_agrawal_table,
+    }
+    records = arguments.records if arguments.records is not None else 10_000
+    k = arguments.k if arguments.k is not None else DEFAULT_BASE_K
+    seed = arguments.seed if arguments.seed is not None else 1
+    workers = arguments.workers
+    if workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    maker = makers[arguments.dataset]
+    profiling = arguments.profile or arguments.profile_json is not None
+    if profiling:
+        obs.enable()
+    obs.AUDITOR.enable(reset=True)
+    try:
+        with tempfile.TemporaryDirectory() as staging:
+            if arguments.input is not None:
+                path = arguments.input
+                # The schema (domains, dimensionality) still comes from the
+                # dataset generator; the file supplies only the points.
+                schema_table = maker(1, seed=seed)
+            else:
+                schema_table = maker(records, seed=seed)
+                path = str(Path(staging) / f"{arguments.dataset}.records")
+                write_table(schema_table, path)
+            anonymizer = RTreeAnonymizer(schema_table, base_k=min(DEFAULT_BASE_K, k))
+            consumed = anonymizer.bulk_load_file(path, workers=workers)
+            release = anonymizer.anonymize(k)
+        audit = obs.AUDITOR.latest
+        print(
+            f"anonymized {consumed:,} {arguments.dataset} records "
+            f"with {workers} worker(s) at k={k}"
+        )
+        print(f"  leaves:     {anonymizer.leaf_count():,}")
+        print(f"  release:    {release.summary()}")
+        print(f"  digest:     {release_digest(release)}")
+        if audit is not None:
+            verdict = "pass" if audit["k_satisfied"] else "FAIL"
+            print(
+                f"  audit:      {verdict} "
+                f"(k={audit['k_requested']}, base_k={audit['base_k']})"
+            )
+        if profiling:
+            _show_profile("anonymize", arguments.profile_json)
+        return 0 if audit is None or audit["k_satisfied"] else 1
+    finally:
+        obs.AUDITOR.disable()
 
 
 def _stats_command(arguments: argparse.Namespace) -> None:

@@ -110,7 +110,11 @@ class RTreeAnonymizer:
             return self._loader.load(stream)
 
     def bulk_load_file(
-        self, path: str, batch_size: int = 8_192, first_rid: int = 0
+        self,
+        path: str,
+        batch_size: int = 8_192,
+        first_rid: int = 0,
+        workers: int | None = None,
     ) -> int:
         """Bulk-anonymize straight from a binary record file (§5.2).
 
@@ -119,6 +123,17 @@ class RTreeAnonymizer:
         is how the paper's larger-than-memory runs feed the loader.
         Returns the number of records the loader actually consumed (which
         the file's header may misreport on a short read).
+
+        ``workers`` switches on the sharded parallel engine
+        (:mod:`repro.parallel`): the file is split into contiguous
+        Hilbert-key shard ranges, a worker pool keys and sorts each shard
+        from its own slice of the file, and the loader replays the stitched
+        Hilbert-ordered stream.  The resulting index is bit-for-bit
+        identical for *every* worker count (``workers=1`` runs the same
+        pipeline in-process and is the serial reference).  Note the sharded
+        path loads in Hilbert order, not file order, so ``workers=None``
+        (the legacy file-order stream) builds a different — equally valid —
+        tree than ``workers=1``.
         """
         from repro.dataset.io import RecordFileReader
 
@@ -129,11 +144,26 @@ class RTreeAnonymizer:
                 f"schema expects {self._schema.dimensions}"
             )
         with OBS.span("anonymizer.bulk_load_file"), TRACE.span(
-            "anonymizer.bulk_load_file", "anonymizer", path=path
+            "anonymizer.bulk_load_file",
+            "anonymizer",
+            path=path,
+            workers=workers or 0,
         ):
-            return self._loader.load(
-                reader.iter_records(batch_size, first_rid=first_rid)
+            if workers is None:
+                return self._loader.load(
+                    reader.iter_records(batch_size, first_rid=first_rid)
+                )
+            from repro.parallel import scan_file_shards, shard_record_stream
+
+            scan = scan_file_shards(
+                path,
+                self._schema.domain_lows(),
+                self._schema.domain_highs(),
+                workers=workers,
+                batch_size=batch_size,
+                first_rid=first_rid,
             )
+            return self._loader.load(shard_record_stream(scan.runs))
 
     def insert_batch(self, records: Iterable[Record] | Table) -> int:
         """Incrementally anonymize a new batch (§2.2, Figure 7(b)).

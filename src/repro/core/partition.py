@@ -10,6 +10,7 @@ Mondrian, compacted or not) produced it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -148,3 +149,21 @@ class AnonymizedTable:
             f"{self.record_count} records in {len(self._partitions)} partitions, "
             f"sizes {min(sizes)}..{max(sizes)} (k-effective {self.k_effective})"
         )
+
+
+def release_digest(table: AnonymizedTable) -> str:
+    """A sha256 fingerprint of a release's published content.
+
+    Hashes every partition's box (repr of the low/high tuples) and sorted
+    member rids, in partition order.  Two releases digest equal iff they
+    publish the same partitions with the same boxes in the same order —
+    the property the parallel engine's determinism guarantee promises and
+    the serial/parallel differential checks (`repro anonymize` prints this
+    digest so CI can compare runs across worker counts textually).
+    """
+    hasher = hashlib.sha256()
+    for partition in table.partitions:
+        box = partition.box
+        hasher.update(repr((tuple(box.lows), tuple(box.highs))).encode())
+        hasher.update(repr(sorted(partition.rids())).encode())
+    return hasher.hexdigest()

@@ -101,13 +101,33 @@ class RecordFileReader:
     def record_bytes(self) -> int:
         return self._record_struct.size
 
-    def iter_points(self, batch_size: int = 8192) -> Iterator[tuple[float, ...]]:
-        """Yield quasi-identifier points one at a time, reading in batches."""
+    def iter_points(
+        self,
+        batch_size: int = 8192,
+        start: int = 0,
+        count: int | None = None,
+    ) -> Iterator[tuple[float, ...]]:
+        """Yield quasi-identifier points one at a time, reading in batches.
+
+        ``start``/``count`` select a contiguous slice of the file's records
+        (record indices, not bytes) — the sharded bulk-anonymization workers
+        use these offsets to stream disjoint slices of one file without any
+        coordination beyond the slice bounds.
+        """
+        if start < 0 or start > self._count:
+            raise ValueError(
+                f"start {start} outside the file's {self._count} records"
+            )
+        remaining = self._count - start if count is None else count
+        if remaining < 0 or start + remaining > self._count:
+            raise ValueError(
+                f"slice [{start}, {start + remaining}) outside the file's "
+                f"{self._count} records"
+            )
         record_bytes = self._record_struct.size
         with open(self._path, "rb") as handle:
-            handle.seek(_HEADER.size)
+            handle.seek(_HEADER.size + start * record_bytes)
             reader = io.BufferedReader(handle, buffer_size=batch_size * record_bytes)
-            remaining = self._count
             while remaining > 0:
                 chunk = reader.read(min(remaining, batch_size) * record_bytes)
                 if not chunk:
@@ -117,11 +137,22 @@ class RecordFileReader:
                 remaining -= len(chunk) // record_bytes
 
     def iter_records(
-        self, batch_size: int = 8192, first_rid: int = 0
+        self,
+        batch_size: int = 8192,
+        first_rid: int = 0,
+        start: int = 0,
+        count: int | None = None,
     ) -> Iterator[Record]:
-        """Yield :class:`Record` objects with sequential rids."""
-        for offset, point in enumerate(self.iter_points(batch_size)):
-            yield Record(first_rid + offset, point)
+        """Yield :class:`Record` objects with sequential rids.
+
+        Rids are assigned by *file position* (``first_rid + index``), so a
+        record carries the same rid whether the file is read whole or in
+        slices — what makes slice-parallel loads reproduce serial output.
+        """
+        for offset, point in enumerate(
+            self.iter_points(batch_size, start=start, count=count)
+        ):
+            yield Record(first_rid + start + offset, point)
 
 
 def write_table(table: Table, path: str | Path) -> int:

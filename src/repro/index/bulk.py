@@ -60,10 +60,11 @@ def hilbert_partitions(
     """Consecutive groups of ~2k records along the Hilbert curve.
 
     Every group holds at least ``k`` records (the final remainder is merged
-    into the last full group), so the grouping is k-anonymous.
+    into the last full group), so the grouping is k-anonymous.  Raises
+    ``ValueError`` when the input holds fewer than ``k`` records in total.
     """
     ordered = hilbert_sorted(records, lows, highs, bits)
-    return _chunk_with_floor(ordered, k)
+    return chunk_with_floor(ordered, k)
 
 
 def str_partitions(
@@ -144,8 +145,21 @@ def str_bulk_load(
         return tree
 
 
-def _chunk_with_floor(ordered: Sequence[Record], k: int) -> list[list[Record]]:
-    """Consecutive chunks of 2k records with a k-record floor on the tail."""
+def chunk_with_floor(ordered: Sequence[Record], k: int) -> list[list[Record]]:
+    """Consecutive chunks of 2k records with a k-record floor on the tail.
+
+    Raises ``ValueError`` when the input holds fewer than ``k`` records:
+    no k-anonymous grouping exists then, and silently emitting one
+    undersized group (the old behavior) would publish a partition below
+    the paper's k-floor.  Both the serial loaders and the sharded parallel
+    engine enforce the same rule.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if len(ordered) < k:
+        raise ValueError(
+            f"cannot form k-anonymous groups: {len(ordered)} records < k={k}"
+        )
     size = 2 * k
     groups: list[list[Record]] = []
     for start in range(0, len(ordered), size):
@@ -154,3 +168,7 @@ def _chunk_with_floor(ordered: Sequence[Record], k: int) -> list[list[Record]]:
         tail = groups.pop()
         groups[-1].extend(tail)
     return groups
+
+
+#: Backwards-compatible private alias (pre-parallel callers imported this).
+_chunk_with_floor = chunk_with_floor

@@ -74,6 +74,36 @@ def _interleave(values: list[int], bits: int) -> int:
     return key
 
 
+def key_bits(dimensions: int, bits: int) -> int:
+    """How many bits a Hilbert/Morton key spans: ``dimensions * bits``."""
+    return dimensions * bits
+
+
+def dequantize(
+    cells: Sequence[int],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    bits: int,
+) -> list[float]:
+    """Map grid cells back to domain values (each cell's center).
+
+    The inverse direction of :func:`quantize` up to quantization error:
+    re-quantizing the returned point lands in the same cells, and each
+    coordinate is within one cell width of any point that quantizes there
+    (the round-trip property the test suite checks).
+    """
+    top = (1 << bits) - 1
+    values: list[float] = []
+    for cell, low, high in zip(cells, lows, highs):
+        extent = high - low
+        if extent <= 0:
+            values.append(low)
+            continue
+        center = low + (min(max(cell, 0), top) + 0.5) * extent / top
+        values.append(min(center, high))
+    return values
+
+
 def quantize(
     point: Sequence[float],
     lows: Sequence[float],

@@ -195,6 +195,41 @@ class Tracer:
             return NULL_TRACE_SPAN
         return _TraceSpan(self, name, category, args or None)
 
+    def offset_us(self, timestamp: float) -> float:
+        """A ``time.perf_counter()`` timestamp as epoch-relative microseconds.
+
+        Callers injecting externally timed spans (:meth:`record_span`) use
+        this to place them on the tracer's clock.
+        """
+        return (timestamp - self._epoch) * 1e6
+
+    def record_span(
+        self,
+        name: str,
+        category: str = "",
+        start_us: float = 0.0,
+        duration_us: float = 0.0,
+        parent: str | None = None,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Inject one already-timed span into the buffer (guard when calling).
+
+        The sharded bulk-anonymization engine uses this to merge spans that
+        ran in *worker processes* — which cannot reach the parent's tracer —
+        into the parent trace: the worker reports its wall time, the parent
+        maps it onto this tracer's clock via :meth:`offset_us`.
+        """
+        self._record(
+            TraceEvent(
+                name,
+                category,
+                start_us,
+                max(duration_us, 0.0),
+                parent,
+                dict(args) if args else None,
+            )
+        )
+
     def instant(self, name: str, category: str = "", **args: object) -> None:
         """Record a zero-duration point event (call sites must guard)."""
         self._record(

@@ -120,7 +120,8 @@ class TestFigureDrivers:
 
     def test_registry_covers_every_driver(self) -> None:
         assert set(figures.DRIVERS) == {
-            "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
+            "fig7a", "fig7a_parallel", "fig7b",
+            "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig12a", "fig12b", "fig12c", "fig12d",
             "ablation-bulkload", "ablation-split", "ablation-gridfile",
             "ablation-estimator", "ablation-weighted", "ablation-indexes",

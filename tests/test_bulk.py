@@ -2,18 +2,28 @@
 
 from __future__ import annotations
 
+import itertools
+from functools import lru_cache
+
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.index.bulk import (
+    chunk_with_floor,
     hilbert_bulk_load,
     hilbert_partitions,
     hilbert_sorted,
     str_bulk_load,
     str_partitions,
 )
-from repro.index.hilbert import hilbert_key, morton_key, quantize
+from repro.index.hilbert import (
+    dequantize,
+    hilbert_key,
+    key_bits,
+    morton_key,
+    quantize,
+)
 from tests.conftest import random_records
 
 
@@ -76,6 +86,102 @@ class TestHilbertKey:
         assert hilbert_key(coordinates, 8) == hilbert_key(coordinates, 8)
 
 
+#: (dimensions, bits) pairs small enough to enumerate the whole grid —
+#: ``dimensions * bits`` bounded so a full sweep stays in milliseconds.
+_GRID_SHAPES = [
+    (dimensions, bits)
+    for dimensions in (1, 2, 3, 4)
+    for bits in (1, 2, 3, 4)
+    if key_bits(dimensions, bits) <= 12
+]
+
+
+@lru_cache(maxsize=None)
+def _grid_points(dimensions: int, bits: int) -> list[tuple[int, ...]]:
+    return list(itertools.product(range(1 << bits), repeat=dimensions))
+
+
+class TestHilbertProperties:
+    """Property-based coverage of the key/quantization layer.
+
+    The sharded parallel engine leans on these properties: injectivity is
+    what makes ``(key, rid)`` a total order, and the round-trip bound is
+    what keeps shard-boundary keys meaningful in domain space.
+    """
+
+    @given(
+        st.sampled_from(_GRID_SHAPES),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hilbert_key_injective_on_grid(self, shape, rng) -> None:
+        dimensions, bits = shape
+        points = _grid_points(dimensions, bits)
+        sample = rng.sample(points, min(len(points), 256))
+        keys = [hilbert_key(point, bits) for point in sample]
+        assert len(set(keys)) == len(sample)
+        assert all(0 <= key < (1 << key_bits(dimensions, bits)) for key in keys)
+
+    @given(
+        st.sampled_from(_GRID_SHAPES),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_morton_key_injective_on_grid(self, shape, rng) -> None:
+        dimensions, bits = shape
+        points = _grid_points(dimensions, bits)
+        sample = rng.sample(points, min(len(points), 256))
+        keys = [morton_key(point, bits) for point in sample]
+        assert len(set(keys)) == len(sample)
+
+    @given(st.sampled_from([shape for shape in _GRID_SHAPES if shape[0] >= 2]))
+    @settings(max_examples=len(_GRID_SHAPES), deadline=None)
+    def test_hilbert_adjacency_exhaustive(self, shape) -> None:
+        """Consecutive curve positions differ by exactly one grid step, in
+        every dimensionality/resolution — the locality the loader exploits."""
+        dimensions, bits = shape
+        inverse = {
+            hilbert_key(point, bits): point
+            for point in _grid_points(dimensions, bits)
+        }
+        assert len(inverse) == 1 << key_bits(dimensions, bits)
+        for key in range(len(inverse) - 1):
+            here, there = inverse[key], inverse[key + 1]
+            assert sum(abs(a - b) for a, b in zip(here, there)) == 1
+
+    @given(
+        st.integers(2, 12),
+        st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(0.0, 1e6, allow_nan=False),
+                st.floats(0.0, 1.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_round_trip_within_one_cell(self, bits, axes) -> None:
+        """dequantize(quantize(p)) re-quantizes to the same cells, and each
+        coordinate lands within one cell width of the original point."""
+        lows = [low for low, _extent, _frac in axes]
+        highs = [low + extent for low, extent, _frac in axes]
+        point = [
+            low + (high - low) * frac
+            for (low, _extent, frac), high in zip(axes, highs)
+        ]
+        cells = quantize(point, lows, highs, bits)
+        restored = dequantize(cells, lows, highs, bits)
+        assert quantize(restored, lows, highs, bits) == cells
+        top = (1 << bits) - 1
+        for value, back, low, high in zip(point, restored, lows, highs):
+            assert low <= back <= high
+            extent = high - low
+            cell_width = extent / top if extent > 0 else 0.0
+            assert abs(back - value) <= cell_width + 1e-9 * max(1.0, abs(value))
+
+
 class TestSortLoaders:
     def test_hilbert_partitions_floor(self) -> None:
         records = random_records(203, seed=1)
@@ -116,3 +222,60 @@ class TestSortLoaders:
         tree = str_bulk_load(records, dimensions=3, k=5, domain_extents=(100.0,) * 3)
         tree.check_invariants()
         assert len(tree) == 600
+
+
+class TestChunkWithFloor:
+    """The k-floor chunker shared by the serial and sharded loaders."""
+
+    def test_exact_2k_chunks(self) -> None:
+        records = random_records(40, seed=6)
+        groups = chunk_with_floor(records, k=10)
+        assert [len(g) for g in groups] == [20, 20]
+        assert [r.rid for g in groups for r in g] == list(range(40))
+
+    def test_short_tail_merges_into_last_group(self) -> None:
+        records = random_records(47, seed=6)
+        groups = chunk_with_floor(records, k=10)
+        assert [len(g) for g in groups] == [20, 27]
+
+    def test_tail_at_floor_stays_separate(self) -> None:
+        records = random_records(30, seed=6)
+        groups = chunk_with_floor(records, k=10)
+        assert [len(g) for g in groups] == [20, 10]
+
+    def test_exactly_k_records_is_one_group(self) -> None:
+        records = random_records(10, seed=6)
+        assert [len(g) for g in chunk_with_floor(records, k=10)] == [10]
+
+    def test_fewer_than_k_records_raises(self) -> None:
+        """No k-anonymous grouping exists below k records; emitting an
+        undersized group (the old behavior) would break the k-floor."""
+        records = random_records(9, seed=6)
+        with pytest.raises(ValueError, match="9 records < k=10"):
+            chunk_with_floor(records, k=10)
+
+    def test_empty_input_raises(self) -> None:
+        with pytest.raises(ValueError, match="0 records < k=1"):
+            chunk_with_floor([], k=1)
+
+    def test_nonpositive_k_raises(self) -> None:
+        with pytest.raises(ValueError, match="k must be at least 1"):
+            chunk_with_floor(random_records(5, seed=6), k=0)
+
+    def test_hilbert_partitions_propagates_the_floor_error(self) -> None:
+        records = random_records(4, seed=6)
+        with pytest.raises(ValueError, match="4 records < k=5"):
+            hilbert_partitions(records, (0.0,) * 3, (100.0,) * 3, k=5)
+
+    @given(st.integers(1, 25), st.integers(0, 120))
+    @settings(max_examples=120, deadline=None)
+    def test_floor_invariants(self, k: int, count: int) -> None:
+        records = random_records(count, seed=7)
+        if count < k:
+            with pytest.raises(ValueError):
+                chunk_with_floor(records, k)
+            return
+        groups = chunk_with_floor(records, k)
+        assert [r.rid for g in groups for r in g] == list(range(count))
+        assert all(len(g) >= k for g in groups)
+        assert all(len(g) <= 3 * k - 1 for g in groups)

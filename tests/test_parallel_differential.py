@@ -1,0 +1,182 @@
+"""Serial/parallel differential suite.
+
+The sharded engine's contract is *bit-for-bit equality* with the serial
+Hilbert loaders for every worker count.  This suite enforces it across a
+grid of datasets × k × workers, at four levels:
+
+1. the partition grouping (`parallel_hilbert_partitions` vs
+   `hilbert_partitions`),
+2. the built index (leaf record groups, leaf MBRs, invariants vs
+   `hilbert_bulk_load`),
+3. the published release through :class:`RTreeAnonymizer` from a staged
+   record file (leaf regions, partition boxes and membership, digest),
+4. the privacy/quality verdicts (`is_k_anonymous`, discernibility,
+   certainty) and the auditor's record, modulo its sequence field.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.partition import release_digest
+from repro.dataset.agrawal import make_agrawal_table
+from repro.dataset.census import make_census_table
+from repro.dataset.io import write_table
+from repro.dataset.landsend import make_landsend_table
+from repro.index.bulk import hilbert_bulk_load, hilbert_partitions
+from repro.metrics.certainty import certainty_penalty
+from repro.metrics.discernibility import discernibility_penalty
+from repro.obs import AUDITOR
+from repro.parallel import parallel_bulk_load, parallel_hilbert_partitions
+from repro.privacy.kanonymity import is_k_anonymous
+
+RECORDS = 600
+SEED = 7
+DATASETS = {
+    "landsend": make_landsend_table,
+    "census": make_census_table,
+    "agrawal": make_agrawal_table,
+}
+KS = (2, 5, 25)
+WORKER_COUNTS = (1, 2, 4)
+GRID = [
+    (dataset, k)
+    for dataset in sorted(DATASETS)
+    for k in KS
+]
+
+
+@lru_cache(maxsize=None)
+def _table(dataset: str):
+    return DATASETS[dataset](RECORDS, seed=SEED)
+
+
+def _domain(table):
+    return table.schema.domain_lows(), table.schema.domain_highs()
+
+
+def _leaf_groups(tree):
+    return [[record.rid for record in leaf.records] for leaf in tree.leaves()]
+
+
+def _leaf_mbrs(tree):
+    return [leaf.mbr for leaf in tree.leaves()]
+
+
+@pytest.mark.parametrize(("dataset", "k"), GRID)
+def test_partition_grouping_matches_serial(dataset: str, k: int) -> None:
+    table = _table(dataset)
+    records = list(table.records)
+    lows, highs = _domain(table)
+    serial = hilbert_partitions(records, lows, highs, k)
+    for workers in WORKER_COUNTS:
+        parallel = parallel_hilbert_partitions(
+            records, lows, highs, k, workers=workers
+        )
+        assert parallel == serial, (
+            f"{dataset} k={k} workers={workers}: grouping diverged"
+        )
+
+
+@pytest.mark.parametrize(("dataset", "k"), GRID)
+def test_built_tree_matches_serial(dataset: str, k: int) -> None:
+    table = _table(dataset)
+    records = list(table.records)
+    lows, highs = _domain(table)
+    serial = hilbert_bulk_load(records, lows, highs, k)
+    serial_groups = _leaf_groups(serial)
+    serial_mbrs = _leaf_mbrs(serial)
+    for workers in WORKER_COUNTS:
+        tree = parallel_bulk_load(records, lows, highs, k, workers=workers)
+        tree.check_invariants()
+        assert _leaf_groups(tree) == serial_groups, (
+            f"{dataset} k={k} workers={workers}: leaf membership diverged"
+        )
+        assert _leaf_mbrs(tree) == serial_mbrs, (
+            f"{dataset} k={k} workers={workers}: leaf MBRs diverged"
+        )
+        assert len(tree) == len(serial)
+
+
+@pytest.fixture(scope="module")
+def record_files(tmp_path_factory):
+    staging = tmp_path_factory.mktemp("differential")
+    paths = {}
+    for dataset in DATASETS:
+        path = str(staging / f"{dataset}.records")
+        write_table(_table(dataset), path)
+        paths[dataset] = path
+    return paths
+
+
+def _released(dataset: str, k: int, workers: int, path: str):
+    """One audited release built from the staged file at a worker count."""
+    table = _table(dataset)
+    anonymizer = RTreeAnonymizer(table, base_k=min(5, k))
+    consumed = anonymizer.bulk_load_file(path, workers=workers)
+    assert consumed == RECORDS
+    AUDITOR.enable(reset=True)
+    try:
+        release = anonymizer.anonymize(k)
+        audit = dict(AUDITOR.latest)
+    finally:
+        AUDITOR.disable()
+    regions = [
+        (region.lows, region.highs) for region in anonymizer.leaf_regions()
+    ]
+    return release, regions, audit
+
+
+@pytest.mark.parametrize(("dataset", "k"), GRID)
+def test_release_from_file_matches_serial(dataset: str, k: int, record_files) -> None:
+    """The anonymizer-level differential: leaf regions, partitions, digest,
+    k verdict, quality metrics and audit record all agree across workers."""
+    table = _table(dataset)
+    path = record_files[dataset]
+    reference = None
+    for workers in WORKER_COUNTS:
+        release, regions, audit = _released(dataset, k, workers, path)
+        partitions = [
+            ((p.box.lows, p.box.highs), sorted(p.rids()))
+            for p in release.partitions
+        ]
+        verdict = is_k_anonymous(release, k)
+        metrics = (
+            discernibility_penalty(release),
+            certainty_penalty(release, table),
+        )
+        digest = release_digest(release)
+        audit.pop("sequence", None)
+        snapshot = (regions, partitions, verdict, metrics, digest, audit)
+        if reference is None:
+            reference = snapshot
+            assert verdict, f"{dataset} k={k}: serial release not k-anonymous"
+            continue
+        for name, got, expected in zip(
+            ("regions", "partitions", "k-verdict", "metrics", "digest", "audit"),
+            snapshot,
+            reference,
+        ):
+            assert got == expected, (
+                f"{dataset} k={k} workers={workers}: {name} diverged"
+            )
+
+
+def test_forced_multiprocessing_matches_serial(monkeypatch) -> None:
+    """One grid cell with one process per slice forced, so the differential
+    crosses the real multiprocessing boundary even on single-CPU machines
+    (elsewhere the engine caps the pool at the CPU count)."""
+    monkeypatch.setenv("REPRO_PARALLEL_POOL", "force")
+    table = _table("landsend")
+    records = list(table.records)
+    lows, highs = _domain(table)
+    serial = hilbert_bulk_load(records, lows, highs, 5)
+    pooled = parallel_bulk_load(records, lows, highs, 5, workers=4)
+    assert _leaf_groups(pooled) == _leaf_groups(serial)
+    assert _leaf_mbrs(pooled) == _leaf_mbrs(serial)
+    assert parallel_hilbert_partitions(
+        records, lows, highs, 5, workers=4
+    ) == hilbert_partitions(records, lows, highs, 5)

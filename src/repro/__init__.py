@@ -17,6 +17,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced table and figure.
 """
 
+from repro import api
+from repro.api import Anonymizer, ReleaseResult
 from repro.baselines.grid import GridFileAnonymizer, gridfile_anonymize
 from repro.baselines.mondrian import MondrianAnonymizer, mondrian_anonymize
 from repro.core.anonymizer import RTreeAnonymizer
@@ -35,6 +37,7 @@ from repro.dataset.landsend import LandsEndGenerator, make_landsend_table
 from repro.dataset.record import Record
 from repro.dataset.schema import Attribute, AttributeKind, Schema
 from repro.dataset.table import Table
+from repro.durability import DurabilityConfig, RecoveryError
 from repro.geometry.box import Box
 from repro.hierarchy.tree import GeneralizationHierarchy
 from repro.index.buffer_tree import BufferTreeLoader
@@ -64,6 +67,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AgrawalGenerator",
     "AnonymizedTable",
+    "Anonymizer",
     "Attribute",
     "AttributeKind",
     "BiasedSplitPolicy",
@@ -71,6 +75,7 @@ __all__ = [
     "BufferTreeLoader",
     "CensusGenerator",
     "ConstrainedSplitPolicy",
+    "DurabilityConfig",
     "GridFile",
     "GridFileAnonymizer",
     "DistinctLDiversity",
@@ -83,11 +88,14 @@ __all__ = [
     "RPlusTree",
     "RTreeAnonymizer",
     "Record",
+    "RecoveryError",
     "ReleaseRegistry",
     "ReleaseRejected",
+    "ReleaseResult",
     "Schema",
     "Table",
     "WeightedSplitPolicy",
+    "api",
     "average_error",
     "certainty_penalty",
     "compact_partitions",

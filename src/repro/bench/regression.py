@@ -59,6 +59,11 @@ KEY_COUNTERS: tuple[str, ...] = (
     "anonymizer.partitions",
     "parallel.shards",
     "parallel.shard_records",
+    "wal.appends",
+    "wal.fsyncs",
+    "checkpoint.snapshots",
+    "recovery.replayed_ops",
+    "recovery.discarded_ops",
 )
 
 
@@ -77,6 +82,7 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
             ("fig8a", {"sizes": (2_000, 4_000), "k": 10, "seed": 3}),
             ("fig8b", {"records": 4_000, "k": 10, "seed": 3}),
             ("fig10", {"records": 4_000, "ks": (10,), "seed": 1}),
+            ("recovery", {"records": 2_000, "tail_ops": (0, 200), "k": 10, "seed": 1}),
         ]
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
@@ -84,6 +90,7 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
         ("fig8a", {"sizes": (10_000, 20_000), "k": 10, "seed": 3}),
         ("fig8b", {"records": 20_000, "k": 10, "seed": 3}),
         ("fig10", {"records": 20_000, "ks": (10, 50), "seed": 1}),
+        ("recovery", {"records": 10_000, "tail_ops": (0, 500, 2_000), "k": 10, "seed": 1}),
     ]
 
 

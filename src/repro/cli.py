@@ -15,6 +15,16 @@
     repro bench --compare BENCH_core.json   # regression report vs baseline
     repro anonymize --workers 4    # sharded parallel bulk anonymization
     repro anonymize --workers 4 --dataset census --records 20000 --k 10
+    repro anonymize --dir state/   # durable: WAL + checkpoint in state/
+    repro recover --dir state/     # rebuild after a crash, publish a release
+    repro checkpoint --dir state/  # offline checkpoint (bounds replay work)
+
+The data-facing commands (``anonymize``, ``bench``, ``recover``,
+``checkpoint``) share one option vocabulary — ``--dataset``, ``--k``,
+``--out``, ``--workers``, ``--dir`` — and are all implemented on
+:mod:`repro.api`, the consolidated facade (see docs/API.md).  The old
+``--input`` spelling still works but warns once with a
+``DeprecationWarning``; use ``--dataset-file``.
 
 Each experiment prints the same rows the paper plots; see EXPERIMENTS.md
 for the recorded paper-vs-measured comparison.  ``--profile`` switches the
@@ -29,10 +39,43 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Sequence
 
 from repro.bench.figures import DRIVERS
 from repro.bench.runner import environment_report
+
+#: Options that have already warned this process (deprecations warn once).
+_warned_options: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    if old in _warned_options:
+        return
+    _warned_options.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new}", DeprecationWarning, stacklevel=4
+    )
+
+
+class _DeprecatedAlias(argparse.Action):
+    """An option spelling kept for compatibility; warns once when used."""
+
+    def __init__(
+        self, option_strings: list[str], dest: str, new_option: str = "", **kwargs: object
+    ) -> None:
+        self._new_option = new_option
+        super().__init__(option_strings, dest, **kwargs)  # type: ignore[arg-type]
+
+    def __call__(
+        self,
+        parser: argparse.ArgumentParser,
+        namespace: argparse.Namespace,
+        values: object,
+        option_string: str | None = None,
+    ) -> None:
+        _warn_deprecated(option_string or self.option_strings[0], self._new_option)
+        setattr(namespace, self.dest, values)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -83,30 +126,60 @@ def _build_parser() -> argparse.ArgumentParser:
             "Chrome-trace JSON (open in chrome://tracing or Perfetto)"
         ),
     )
-    anonymize = parser.add_argument_group("anonymize (repro anonymize ...)")
-    anonymize.add_argument(
+    shared = parser.add_argument_group(
+        "data options (shared by anonymize / bench / recover / checkpoint)"
+    )
+    shared.add_argument(
         "--workers",
         type=int,
         default=1,
         help=(
-            "anonymize: worker processes for the sharded parallel engine "
+            "worker processes for the sharded parallel engine "
             "(1 = the same pipeline in-process; output is identical for "
             "every worker count)"
         ),
     )
-    anonymize.add_argument(
+    shared.add_argument(
         "--dataset",
         choices=("landsend", "census", "agrawal"),
         default="landsend",
-        help="anonymize: which generator supplies the records (and the schema)",
+        help="which generator supplies the records (and the schema)",
     )
-    anonymize.add_argument(
-        "--input",
+    shared.add_argument(
+        "--dataset-file",
+        dest="dataset_file",
         metavar="PATH",
         default=None,
         help=(
-            "anonymize: bulk-load this binary record file instead of "
-            "generating one (must match the --dataset schema)"
+            "bulk-load this binary record file instead of generating one "
+            "(must match the --dataset schema)"
+        ),
+    )
+    shared.add_argument(
+        "--input",
+        dest="dataset_file",
+        metavar="PATH",
+        action=_DeprecatedAlias,
+        new_option="--dataset-file",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,  # deprecated spelling of --dataset-file
+    )
+    shared.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "output file: the bench document for 'bench' (default "
+            "BENCH_core.json), the release CSV for 'anonymize'/'recover'"
+        ),
+    )
+    shared.add_argument(
+        "--dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "durability directory: 'anonymize' write-ahead-logs and "
+            "checkpoints into it; 'recover' and 'checkpoint' operate on it"
         ),
     )
     bench = parser.add_argument_group("bench (repro bench ...)")
@@ -114,12 +187,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="bench: shrink the core set to CI-smoke size",
-    )
-    bench.add_argument(
-        "--out",
-        metavar="PATH",
-        default=None,
-        help="bench: where to write the bench document (default BENCH_core.json)",
     )
     bench.add_argument(
         "--compare",
@@ -146,6 +213,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("  stats   (instrumented bulk-load smoke; implies --profile)")
         print("  bench   (pinned-seed core benchmark trail; see --compare)")
         print("  anonymize (sharded parallel bulk anonymization; see --workers)")
+        print("  recover (rebuild a durable anonymizer from --dir after a crash)")
+        print("  checkpoint (snapshot a durable --dir, truncating its WAL)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -182,6 +251,10 @@ def _dispatch(name: str, arguments: argparse.Namespace) -> int:
         return _bench_command(arguments)
     if name == "anonymize":
         return _anonymize_command(arguments)
+    if name == "recover":
+        return _recover_command(arguments)
+    if name == "checkpoint":
+        return _checkpoint_command(arguments)
     if profiling:
         from repro import obs
 
@@ -259,28 +332,52 @@ def _bench_command(arguments: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_release(result, leaves: int | None = None) -> None:
+    """The shared release report: summary, digest (CI greps it), audit."""
+    if leaves is not None:
+        print(f"  leaves:     {leaves:,}")
+    print(f"  release:    {result.table.summary()}")
+    print(f"  digest:     {result.digest}")
+    verdict = "pass" if result.k_satisfied else "FAIL"
+    audit = result.audit
+    print(
+        f"  audit:      {verdict} "
+        f"(k={audit['k_requested']}, base_k={audit['base_k']})"
+    )
+
+
+def _write_release(result, out: str | None) -> None:
+    if out is None:
+        return
+    from repro.dataset.export import write_release_csv
+
+    rows = write_release_csv(result.table, out)
+    print(f"  csv:        {rows:,} rows written to {out}")
+
+
 def _anonymize_command(arguments: argparse.Namespace) -> int:
     """``repro anonymize``: one sharded bulk-anonymization run, audited.
 
-    Generates the chosen dataset (or takes ``--input``), stages it as a
-    binary record file, bulk-loads it through
-    :meth:`RTreeAnonymizer.bulk_load_file` with ``--workers`` processes,
-    and publishes one k-anonymous release under the release auditor.  The
-    printed release digest is a sha256 over the published partitions —
-    runs at different worker counts print the *same* digest (the engine's
+    Generates the chosen dataset (or takes ``--dataset-file``), stages it
+    as a binary record file, and runs it through the :mod:`repro.api`
+    facade: :func:`repro.api.open` (durable when ``--dir`` is given),
+    :meth:`~repro.api.Anonymizer.load` with ``--workers`` processes, and
+    one audited :meth:`~repro.api.Anonymizer.release`.  The printed
+    release digest is a sha256 over the published partitions — runs at
+    different worker counts print the *same* digest (the engine's
     determinism guarantee), which is exactly what the CI differential leg
-    compares.
+    compares, and what ``repro recover`` must reproduce after a crash.
     """
     import tempfile
     from pathlib import Path
 
-    from repro import obs
-    from repro.core.anonymizer import DEFAULT_BASE_K, RTreeAnonymizer
-    from repro.core.partition import release_digest
+    from repro import api, obs
+    from repro.core.anonymizer import DEFAULT_BASE_K
     from repro.dataset.agrawal import make_agrawal_table
     from repro.dataset.census import make_census_table
     from repro.dataset.io import write_table
     from repro.dataset.landsend import make_landsend_table
+    from repro.durability import DurabilityConfig
 
     makers = {
         "landsend": make_landsend_table,
@@ -295,14 +392,17 @@ def _anonymize_command(arguments: argparse.Namespace) -> int:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
     maker = makers[arguments.dataset]
+    durability = (
+        DurabilityConfig(arguments.dir) if arguments.dir is not None else None
+    )
     profiling = arguments.profile or arguments.profile_json is not None
     if profiling:
         obs.enable()
     obs.AUDITOR.enable(reset=True)
     try:
         with tempfile.TemporaryDirectory() as staging:
-            if arguments.input is not None:
-                path = arguments.input
+            if arguments.dataset_file is not None:
+                path = arguments.dataset_file
                 # The schema (domains, dimensionality) still comes from the
                 # dataset generator; the file supplies only the points.
                 schema_table = maker(1, seed=seed)
@@ -310,28 +410,87 @@ def _anonymize_command(arguments: argparse.Namespace) -> int:
                 schema_table = maker(records, seed=seed)
                 path = str(Path(staging) / f"{arguments.dataset}.records")
                 write_table(schema_table, path)
-            anonymizer = RTreeAnonymizer(schema_table, base_k=min(DEFAULT_BASE_K, k))
-            consumed = anonymizer.bulk_load_file(path, workers=workers)
-            release = anonymizer.anonymize(k)
-        audit = obs.AUDITOR.latest
+            with api.open(
+                schema_table, base_k=min(DEFAULT_BASE_K, k), durability=durability
+            ) as handle:
+                consumed = handle.load(path, workers=workers)
+                result = handle.release(k=k)
+                leaves = handle.engine.leaf_count()
+                if durability is not None:
+                    checkpoint = handle.checkpoint()
         print(
             f"anonymized {consumed:,} {arguments.dataset} records "
             f"with {workers} worker(s) at k={k}"
         )
-        print(f"  leaves:     {anonymizer.leaf_count():,}")
-        print(f"  release:    {release.summary()}")
-        print(f"  digest:     {release_digest(release)}")
-        if audit is not None:
-            verdict = "pass" if audit["k_satisfied"] else "FAIL"
+        _print_release(result, leaves=leaves)
+        if durability is not None:
             print(
-                f"  audit:      {verdict} "
-                f"(k={audit['k_requested']}, base_k={audit['base_k']})"
+                f"  durable:    checkpoint at LSN {checkpoint.lsn} "
+                f"in {checkpoint.directory}"
             )
+        _write_release(result, arguments.out)
         if profiling:
             _show_profile("anonymize", arguments.profile_json)
-        return 0 if audit is None or audit["k_satisfied"] else 1
+        return 0 if result.k_satisfied else 1
     finally:
         obs.AUDITOR.disable()
+
+
+def _recover_command(arguments: argparse.Namespace) -> int:
+    """``repro recover``: rebuild a durable ``--dir`` and publish a release.
+
+    Prints the same ``digest:`` line as ``repro anonymize`` so the two can
+    be compared textually: a recovery is correct iff the digest equals the
+    one the uninterrupted run printed.
+    """
+    from repro import api, obs
+
+    if arguments.dir is None:
+        print("recover requires --dir (the durability directory)", file=sys.stderr)
+        return 2
+    obs.AUDITOR.enable(reset=True)
+    try:
+        handle = api.recover(arguments.dir)
+        evidence = handle.recovery
+        assert evidence is not None
+        print(f"recovered {len(handle):,} records from {arguments.dir}")
+        print(f"  snapshot:   LSN {evidence.snapshot_lsn}")
+        print(
+            f"  replayed:   {evidence.replayed_ops} op(s) "
+            f"({evidence.skipped_ops} skipped, "
+            f"{evidence.discarded_ops} discarded)"
+        )
+        k = arguments.k if arguments.k is not None else handle.base_k
+        result = handle.release(k=k)
+        _print_release(result, leaves=handle.engine.leaf_count())
+        _write_release(result, arguments.out)
+        handle.close()
+        return 0 if result.k_satisfied else 1
+    finally:
+        obs.AUDITOR.disable()
+
+
+def _checkpoint_command(arguments: argparse.Namespace) -> int:
+    """``repro checkpoint``: offline snapshot of a durable ``--dir``.
+
+    Recovers the directory (validating it in the process), writes a fresh
+    checkpoint, and truncates the WAL — bounding the replay work of the
+    *next* recovery.
+    """
+    from repro import api
+
+    if arguments.dir is None:
+        print(
+            "checkpoint requires --dir (the durability directory)",
+            file=sys.stderr,
+        )
+        return 2
+    handle = api.recover(arguments.dir)
+    checkpoint = handle.checkpoint()
+    print(f"checkpoint written at LSN {checkpoint.lsn} in {checkpoint.directory}")
+    print(f"  records:    {len(handle):,}")
+    handle.close()
+    return 0
 
 
 def _stats_command(arguments: argparse.Namespace) -> None:

@@ -25,7 +25,9 @@ from typing import Iterable, Sequence
 from repro.core.leafscan import Constraint, leaf_scan, subtree_scan
 from repro.core.partition import AnonymizedTable, Partition
 from repro.dataset.record import Record
+from repro.dataset.schema import Schema
 from repro.dataset.table import Table
+from repro.durability.manager import DurabilityConfig, DurabilityManager
 from repro.geometry.box import Box
 from repro.index.buffer_tree import BufferTreeLoader
 from repro.index.leaf_store import PagedLeafStore
@@ -55,6 +57,7 @@ class RTreeAnonymizer:
         split_policy: SplitPolicy | None = None,
         pool: BufferPool[Record] | None = None,
         leaf_capacity: int | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         """Create an anonymizer for a table's schema (no records loaded yet).
 
@@ -62,6 +65,11 @@ class RTreeAnonymizer:
         to normalize split decisions; pass the actual data table and then
         call :meth:`bulk_load` (or construct via :meth:`anonymize_table`).
         ``pool`` attaches the simulated storage layer for I/O accounting.
+        ``durability`` opts into crash safety: every acknowledged mutation
+        is written ahead to a log in ``durability.dir`` and
+        :meth:`checkpoint`/:func:`repro.durability.recovery.recover` bound
+        the replay work (see docs/API.md).  The directory must be fresh —
+        recover existing state instead of re-opening it blind.
         """
         self._schema = schema_table.schema
         domain_extents = [
@@ -80,8 +88,42 @@ class RTreeAnonymizer:
         )
         self._pool = pool
         self._loader = BufferTreeLoader(self._tree, pool=pool)
+        self._durability: DurabilityManager | None = None
+        if durability is not None:
+            self._durability = DurabilityManager.create(
+                durability,
+                self._tree,
+                self._schema,
+                io_stats=self.io_stats(),
+            )
 
     # -- construction shortcuts ------------------------------------------------
+
+    @classmethod
+    def _from_restored(
+        cls,
+        schema: Schema,
+        tree: RPlusTree,
+        pool: BufferPool[Record] | None = None,
+    ) -> "RTreeAnonymizer":
+        """Assemble an anonymizer around an already-built tree (recovery).
+
+        Bypasses tree construction entirely; the durability manager (if
+        any) is attached afterwards by the recovery driver via
+        :meth:`_attach_durability`.
+        """
+        anonymizer = cls.__new__(cls)
+        anonymizer._schema = schema
+        anonymizer._pool = pool
+        anonymizer._tree = tree
+        if pool is not None:
+            tree.adopt_leaf_store(PagedLeafStore(pool))
+        anonymizer._loader = BufferTreeLoader(tree, pool=pool)
+        anonymizer._durability = None
+        return anonymizer
+
+    def _attach_durability(self, manager: DurabilityManager) -> None:
+        self._durability = manager
 
     @classmethod
     def anonymize_table(
@@ -107,7 +149,26 @@ class RTreeAnonymizer:
         with OBS.span("anonymizer.bulk_load"), TRACE.span(
             "anonymizer.bulk_load", "anonymizer"
         ):
-            return self._loader.load(stream)
+            if self._durability is None:
+                return self._loader.load(stream)
+            # A bulk load is one WAL batch: members are logged as the
+            # loader consumes them and become durable only at the final
+            # batch-commit — a crash mid-load discards the whole
+            # (unacknowledged) load rather than half of it.
+            self._durability.begin_batch()
+            try:
+                consumed = self._loader.load(self._log_batch_members(stream))
+            except BaseException:
+                self._durability.abort_batch()
+                raise
+            self._durability.commit_batch()
+            return consumed
+
+    def _log_batch_members(self, stream: Iterable[Record]) -> Iterable[Record]:
+        assert self._durability is not None
+        for record in stream:
+            self._durability.log_batched_insert(record)
+            yield record
 
     def bulk_load_file(
         self,
@@ -150,20 +211,31 @@ class RTreeAnonymizer:
             workers=workers or 0,
         ):
             if workers is None:
-                return self._loader.load(
-                    reader.iter_records(batch_size, first_rid=first_rid)
+                stream: Iterable[Record] = reader.iter_records(
+                    batch_size, first_rid=first_rid
                 )
-            from repro.parallel import scan_file_shards, shard_record_stream
+            else:
+                from repro.parallel import scan_file_shards, shard_record_stream
 
-            scan = scan_file_shards(
-                path,
-                self._schema.domain_lows(),
-                self._schema.domain_highs(),
-                workers=workers,
-                batch_size=batch_size,
-                first_rid=first_rid,
-            )
-            return self._loader.load(shard_record_stream(scan.runs))
+                scan = scan_file_shards(
+                    path,
+                    self._schema.domain_lows(),
+                    self._schema.domain_highs(),
+                    workers=workers,
+                    batch_size=batch_size,
+                    first_rid=first_rid,
+                )
+                stream = shard_record_stream(scan.runs)
+            if self._durability is None:
+                return self._loader.load(stream)
+            self._durability.begin_batch()
+            try:
+                consumed = self._loader.load(self._log_batch_members(stream))
+            except BaseException:
+                self._durability.abort_batch()
+                raise
+            self._durability.commit_batch()
+            return consumed
 
     def insert_batch(self, records: Iterable[Record] | Table) -> int:
         """Incrementally anonymize a new batch (§2.2, Figure 7(b)).
@@ -173,23 +245,41 @@ class RTreeAnonymizer:
         reflects the batch.
         """
         stream = records.records if isinstance(records, Table) else records
-        consumed = self._loader.insert_batch(stream)
-        self._loader.drain()
+        if self._durability is None:
+            consumed = self._loader.insert_batch(stream)
+            self._loader.drain()
+            return consumed
+        self._durability.begin_batch()
+        try:
+            consumed = self._loader.insert_batch(self._log_batch_members(stream))
+            self._loader.drain()
+        except BaseException:
+            self._durability.abort_batch()
+            raise
+        self._durability.commit_batch()
         return consumed
 
     def insert(self, record: Record) -> None:
         """Insert one record through the ordinary index-maintenance path."""
         self._tree.insert(record)
+        if self._durability is not None:
+            self._durability.log_insert(record)
 
     def delete(self, rid: int, point: Sequence[float]) -> Record:
         """Delete one record; the occupancy floor is restored before returning."""
-        return self._tree.delete(rid, point)
+        removed = self._tree.delete(rid, point)
+        if self._durability is not None:
+            self._durability.log_delete(rid, point)
+        return removed
 
     def update(
         self, rid: int, old_point: Sequence[float], record: Record
     ) -> Record:
         """Update a record's quasi-identifiers (a move between leaves)."""
-        return self._tree.update(rid, old_point, record)
+        replaced = self._tree.update(rid, old_point, record)
+        if self._durability is not None:
+            self._durability.log_update(rid, old_point, record)
+        return replaced
 
     # -- releases ------------------------------------------------------------------
 
@@ -322,6 +412,39 @@ class RTreeAnonymizer:
             )
         else:
             self._collect_regions(item, region, out)
+
+    # -- durability --------------------------------------------------------------------
+
+    @property
+    def durability(self) -> DurabilityManager | None:
+        """The durability manager, or ``None`` for an in-memory anonymizer."""
+        return self._durability
+
+    def checkpoint(self) -> int:
+        """Snapshot the tree and truncate the WAL there; returns the LSN.
+
+        Drains any buffered loader records first so the snapshot captures
+        exactly the acknowledged state, then delegates to
+        :meth:`repro.durability.manager.DurabilityManager.checkpoint`.
+        """
+        if self._durability is None:
+            raise ValueError(
+                "this anonymizer has no durability configured; pass "
+                "durability=DurabilityConfig(dir=...) at construction"
+            )
+        if self._loader.buffered_records:
+            self._loader.drain()
+        elif self._tree.in_bulk_mode:
+            self._tree.finish_bulk()
+        with OBS.span("anonymizer.checkpoint"), TRACE.span(
+            "anonymizer.checkpoint", "anonymizer"
+        ):
+            return self._durability.checkpoint(self._tree, self._schema)
+
+    def close(self) -> None:
+        """Flush and close the durability layer (no-op when not durable)."""
+        if self._durability is not None:
+            self._durability.close()
 
     # -- introspection ----------------------------------------------------------------
 

@@ -89,6 +89,19 @@ class RecordFileReader:
         self._dimensions = dimensions
         self._count = count
         self._record_struct = struct.Struct(f"<{dimensions}i")
+        # The header's record count is a claim, not a fact: a crashed writer
+        # (count backpatched only on close) or an externally truncated file
+        # can disagree with the bytes actually present.  Validate up front so
+        # slice readers never silently short-read past physical EOF.
+        file_bytes = self._path.stat().st_size
+        available = (file_bytes - _HEADER.size) // self._record_struct.size
+        if available < count:
+            raise ValueError(
+                f"{self._path}: header claims {count} records but the file's "
+                f"{file_bytes} bytes hold only {available} whole records "
+                f"(truncated at byte offset "
+                f"{_HEADER.size + available * self._record_struct.size})"
+            )
 
     @property
     def dimensions(self) -> int:
@@ -125,16 +138,29 @@ class RecordFileReader:
                 f"{self._count} records"
             )
         record_bytes = self._record_struct.size
+        position = start
         with open(self._path, "rb") as handle:
             handle.seek(_HEADER.size + start * record_bytes)
             reader = io.BufferedReader(handle, buffer_size=batch_size * record_bytes)
             while remaining > 0:
-                chunk = reader.read(min(remaining, batch_size) * record_bytes)
-                if not chunk:
-                    raise ValueError(f"{self._path}: truncated record data")
+                want = min(remaining, batch_size)
+                chunk = reader.read(want * record_bytes)
+                whole = len(chunk) // record_bytes
+                if len(chunk) % record_bytes or whole < want:
+                    # The file shrank underneath us (or the init-time check
+                    # was bypassed by concurrent truncation): fail with the
+                    # exact offset rather than yielding a silently short or
+                    # garbled stream.
+                    raise ValueError(
+                        f"{self._path}: short read at byte offset "
+                        f"{_HEADER.size + (position + whole) * record_bytes} "
+                        f"(record {position + whole}): wanted {want} records, "
+                        f"file ended after {whole}"
+                    )
                 for values in self._record_struct.iter_unpack(chunk):
                     yield tuple(float(v) for v in values)
-                remaining -= len(chunk) // record_bytes
+                remaining -= want
+                position += want
 
     def iter_records(
         self,

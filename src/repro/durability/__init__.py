@@ -1,0 +1,43 @@
+"""Durability subsystem: WAL, checkpoint snapshots, crash recovery.
+
+See :mod:`repro.durability.manager` for the protocol invariants, and
+``docs/API.md`` for the user-facing tour.  The public surface:
+
+* :class:`DurabilityConfig` — the opt-in knob for
+  :class:`~repro.core.anonymizer.RTreeAnonymizer` / :func:`repro.api.open`;
+* :func:`recover` — rebuild an anonymizer from a durability directory;
+* :class:`RecoveryError` and its subclasses — every corruption is loud;
+* :mod:`repro.durability.faults` — the fault-injection harness CI runs.
+"""
+
+from repro.durability.checkpoint import (
+    SNAPSHOT_NAME,
+    Snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.durability.errors import (
+    RecoveryError,
+    SnapshotCorruption,
+    WalCorruption,
+)
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.recovery import RecoveryResult, recover
+from repro.durability.wal import WAL_NAME, WriteAheadLog, read_wal
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityManager",
+    "RecoveryError",
+    "RecoveryResult",
+    "SNAPSHOT_NAME",
+    "Snapshot",
+    "SnapshotCorruption",
+    "WAL_NAME",
+    "WalCorruption",
+    "WriteAheadLog",
+    "read_snapshot",
+    "read_wal",
+    "recover",
+    "write_snapshot",
+]

@@ -1,0 +1,219 @@
+"""Crash recovery: snapshot restore plus WAL tail replay.
+
+:func:`recover` rebuilds an anonymizer from a durability directory so that
+its next release is bit-identical (same partitions, same boxes, same
+digest) to what the pre-crash anonymizer would have published after its
+last *acknowledged* operation:
+
+1. read and validate the checkpoint snapshot (always present — the
+   manager writes an LSN-0 snapshot on creation);
+2. read and validate the WAL; every defect raises
+   :class:`~repro.durability.errors.RecoveryError` rather than guessing;
+3. replay the frames past the snapshot LSN through the *same code paths*
+   the original mutations took — single ops through the tree, sealed
+   batches through a buffer-tree loader — so the split sequence, and
+   therefore the leaf partitioning, reproduces exactly;
+4. discard any trailing unsealed batch members (they were never
+   acknowledged) and truncate them out of the WAL file;
+5. reattach a :class:`~repro.durability.manager.DurabilityManager` so the
+   recovered anonymizer keeps logging where the old one stopped.
+
+Determinism caveat: a tree built with a non-default split policy must be
+recovered with the same policy (policies are code and are not serialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.durability.checkpoint import SNAPSHOT_NAME, read_snapshot
+from repro.durability.errors import RecoveryError
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.wal import WAL_NAME, WalOp, read_wal
+from repro.obs import AUDITOR, OBS, TRACE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.anonymizer import RTreeAnonymizer
+    from repro.index.split import SplitPolicy
+    from repro.storage.buffer_pool import BufferPool
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """What :func:`recover` reconstructed, with its evidence trail."""
+
+    anonymizer: "RTreeAnonymizer"
+    directory: Path
+    snapshot_lsn: int
+    last_lsn: int
+    replayed_ops: int
+    skipped_ops: int
+    discarded_ops: int
+
+
+def recover(
+    directory: str | Path,
+    *,
+    split_policy: "SplitPolicy | None" = None,
+    pool: "BufferPool | None" = None,
+    group_commit_window: float = 0.0,
+    allow_torn_tail: bool = False,
+    reattach: bool = True,
+) -> RecoveryResult:
+    """Restore a durable anonymizer from ``directory``.
+
+    Raises :class:`RecoveryError` (or a subclass) on any corruption: a
+    recovered tree is exact or it is not served at all.  With
+    ``allow_torn_tail=True`` a partial final WAL frame — the signature of
+    a crash mid-append — is discarded instead of raised, matching
+    classical WAL recovery; the strict default satisfies deployments that
+    prefer loud operator intervention over silent truncation.
+    ``reattach=False`` recovers read-only (no WAL is reopened), which the
+    fault-injection grid uses to probe cloned state without mutating it.
+    """
+    directory = Path(directory)
+    wal_path = directory / WAL_NAME
+    snapshot_path = directory / SNAPSHOT_NAME
+    if not directory.is_dir():
+        raise RecoveryError(f"{directory} is not a directory")
+    if not snapshot_path.exists():
+        raise RecoveryError(
+            f"{directory} holds no checkpoint snapshot ({SNAPSHOT_NAME}); "
+            "not a durability directory or its initial snapshot was lost"
+        )
+    with OBS.span("recovery.recover"), TRACE.span(
+        "recovery.recover", "durability", directory=str(directory)
+    ):
+        snapshot = read_snapshot(snapshot_path, split_policy=split_policy)
+        if wal_path.exists():
+            scan = read_wal(wal_path, allow_torn_tail=allow_torn_tail)
+        else:
+            scan = None
+        anonymizer = _restore_anonymizer(snapshot, pool)
+        replayed, skipped, discarded, keep_until = _replay(
+            anonymizer, snapshot.lsn, scan
+        )
+        if scan is not None and keep_until < scan.path.stat().st_size:
+            # Drop discarded (unsealed/torn) tail bytes so the next scan —
+            # and the reattached appender — see only committed frames.
+            with open(scan.path, "r+b") as handle:
+                handle.truncate(keep_until)
+        _restore_watermarks(snapshot.watermarks)
+        if OBS.enabled:
+            OBS.count("recovery.replayed_ops", replayed)
+            OBS.count("recovery.discarded_ops", discarded)
+        if reattach:
+            config = DurabilityConfig(
+                directory, group_commit_window=group_commit_window
+            )
+            manager = DurabilityManager.attach(
+                config, io_stats=anonymizer.io_stats()
+            )
+            anonymizer._attach_durability(manager)
+    last_lsn = scan.last_lsn if scan is not None else snapshot.lsn
+    return RecoveryResult(
+        anonymizer=anonymizer,
+        directory=directory,
+        snapshot_lsn=snapshot.lsn,
+        last_lsn=last_lsn,
+        replayed_ops=replayed,
+        skipped_ops=skipped,
+        discarded_ops=discarded,
+    )
+
+
+def _restore_anonymizer(snapshot, pool) -> "RTreeAnonymizer":
+    from repro.core.anonymizer import RTreeAnonymizer
+
+    return RTreeAnonymizer._from_restored(snapshot.schema, snapshot.tree, pool=pool)
+
+
+def _replay(
+    anonymizer: "RTreeAnonymizer",
+    snapshot_lsn: int,
+    scan,
+) -> tuple[int, int, int, int]:
+    """Apply the WAL tail; returns (replayed, skipped, discarded, keep_until).
+
+    ``keep_until`` is the byte offset of the end of the last *kept* frame —
+    everything after it (an unsealed trailing batch) is discarded.
+    """
+    if scan is None:
+        return 0, 0, 0, 0
+    tree = anonymizer.tree
+    loader = anonymizer.loader
+    pending: list[WalOp] = []
+    replayed = 0
+    skipped = 0
+    keep_until = scan.end_offset
+    with TRACE.span("recovery.replay", "durability", frames=len(scan.ops)):
+        for op in scan.ops:
+            if op.lsn <= snapshot_lsn:
+                # Pre-rotation frames the snapshot already covers (a crash
+                # between snapshot publish and WAL rotation leaves them).
+                skipped += 1
+                continue
+            try:
+                if op.kind == "insert" and op.batched:
+                    pending.append(op)
+                    continue
+                if pending and op.kind != "batch_commit":
+                    raise RecoveryError(
+                        f"{scan.path}: LSN {op.lsn} interleaves a "
+                        f"{op.kind} into an unsealed batch"
+                    )
+                if op.kind == "insert":
+                    tree.insert(op.record)
+                elif op.kind == "delete":
+                    tree.delete(op.rid, op.point)
+                elif op.kind == "update":
+                    tree.update(op.rid, op.point, op.record)
+                elif op.kind == "batch_commit":
+                    if op.count != len(pending):
+                        raise RecoveryError(
+                            f"{scan.path}: batch-commit at LSN {op.lsn} seals "
+                            f"{op.count} records but {len(pending)} are pending"
+                        )
+                    loader.insert_batch(item.record for item in pending)
+                    loader.drain()
+                    replayed += len(pending)
+                    pending = []
+                else:  # pragma: no cover - read_wal rejects unknown ops
+                    raise RecoveryError(f"unknown WAL op {op.kind!r}")
+            except RecoveryError:
+                raise
+            except (KeyError, ValueError) as error:
+                raise RecoveryError(
+                    f"{scan.path}: replay of {op.kind} at LSN {op.lsn} failed: "
+                    f"{error!r} — the log does not match the snapshot"
+                )
+            if op.kind != "batch_commit":
+                replayed += 1
+        discarded = len(pending)
+        if discarded:
+            # The unsealed tail was never acknowledged; keep the WAL at the
+            # last frame before the batch opened.
+            first_pending = pending[0]
+            keep_until = _offset_before(scan, first_pending.lsn)
+    return replayed, skipped, discarded, keep_until
+
+
+def _offset_before(scan, lsn: int) -> int:
+    """Byte offset of the end of the last frame preceding ``lsn``."""
+    from repro.durability.wal import _HEADER
+
+    previous_end = _HEADER.size
+    for op in scan.ops:
+        if op.lsn >= lsn:
+            break
+        previous_end = op.end_offset
+    return previous_end
+
+
+def _restore_watermarks(watermarks: dict[str, object]) -> None:
+    """Resume the audit sequence so post-recovery records keep numbering."""
+    sequence = watermarks.get("audit_sequence")
+    if isinstance(sequence, int) and AUDITOR.enabled:
+        AUDITOR.resume_from(sequence)

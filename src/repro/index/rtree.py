@@ -150,6 +150,16 @@ class RPlusTree:
     def __len__(self) -> int:
         return self._count
 
+    def adopt_leaf_store(self, store: LeafStore) -> None:
+        """Attach ``store`` and register every existing leaf with it.
+
+        Used after snapshot restore, where the tree is rebuilt in memory
+        first and the paged backing store is reattached afterwards.
+        """
+        self._store = store
+        for leaf in self.iter_leaves():
+            store.on_create(leaf)
+
     @property
     def height(self) -> int:
         """Levels above the leaves (0 for a root leaf, -1 when empty)."""

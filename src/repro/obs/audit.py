@@ -241,6 +241,23 @@ class ReleaseAuditor:
             )
         return record
 
+    # -- recovery ------------------------------------------------------------
+
+    @property
+    def sequence(self) -> int:
+        """The sequence number the *next* audited release will carry."""
+        return self._sequence
+
+    def resume_from(self, sequence: int) -> None:
+        """Continue numbering from a checkpoint watermark after recovery.
+
+        Records audited before the crash are gone (they live in memory),
+        but post-recovery releases keep their pre-crash sequence positions
+        so the evidence trail never reuses a number.
+        """
+        if sequence > self._sequence:
+            self._sequence = int(sequence)
+
     # -- reads ---------------------------------------------------------------
 
     @property

@@ -61,6 +61,13 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "page.allocations",
     "anonymizer.releases",
     "anonymizer.partitions",
+    "wal.appends",
+    "wal.bytes",
+    "wal.fsyncs",
+    "checkpoint.snapshots",
+    "checkpoint.bytes",
+    "recovery.replayed_ops",
+    "recovery.discarded_ops",
 )
 
 #: Histogram names pre-registered alongside the counters.

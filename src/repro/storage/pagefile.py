@@ -24,10 +24,16 @@ DEFAULT_PAGE_BYTES = 8_192
 
 @dataclass
 class IOStats:
-    """Counters of explicit page I/O operations."""
+    """Counters of explicit page I/O operations.
+
+    ``fsyncs`` counts durability barriers (WAL group commits, checkpoint
+    publishes) — real I/O stalls, but not page transfers, so it is *not*
+    part of ``total``, which remains the paper's page-I/O quantity.
+    """
 
     reads: int = 0
     writes: int = 0
+    fsyncs: int = 0
 
     @property
     def total(self) -> int:
@@ -35,11 +41,15 @@ class IOStats:
 
     def snapshot(self) -> "IOStats":
         """A copy, for before/after deltas."""
-        return IOStats(self.reads, self.writes)
+        return IOStats(self.reads, self.writes, self.fsyncs)
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """I/Os performed since ``earlier`` was snapshotted."""
-        return IOStats(self.reads - earlier.reads, self.writes - earlier.writes)
+        return IOStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.fsyncs - earlier.fsyncs,
+        )
 
 
 @dataclass

@@ -125,8 +125,14 @@ class TestFigureDrivers:
             "fig12a", "fig12b", "fig12c", "fig12d",
             "ablation-bulkload", "ablation-split", "ablation-gridfile",
             "ablation-estimator", "ablation-weighted", "ablation-indexes",
-            "ablation-loading", "multigranular",
+            "ablation-loading", "multigranular", "recovery",
         }
+
+    def test_recovery_bench(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.chdir(tmp_path)
+        table = figures.recovery_bench(records=1_000, tail_ops=(0, 100), k=5)
+        assert len(table.rows) == 2
+        assert all(row[-1] == "yes" for row in table.rows)  # digest match
 
 
 class TestCLI:

@@ -1,0 +1,141 @@
+"""CLI: shared option vocabulary, deprecation shims, durable commands."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(autouse=True)
+def reset_warned_options():
+    """Each test sees the warn-once state fresh."""
+    cli._warned_options.clear()
+    yield
+    cli._warned_options.clear()
+
+
+# -- shared option vocabulary -------------------------------------------------
+
+
+def test_shared_options_parse_for_every_data_command():
+    parser = cli._build_parser()
+    for command in ("anonymize", "bench", "recover", "checkpoint"):
+        arguments = parser.parse_args(
+            [
+                command,
+                "--dataset",
+                "census",
+                "--k",
+                "7",
+                "--out",
+                "out.file",
+                "--workers",
+                "3",
+                "--dir",
+                "state",
+            ]
+        )
+        assert arguments.experiment == command
+        assert arguments.dataset == "census"
+        assert arguments.k == 7
+        assert arguments.out == "out.file"
+        assert arguments.workers == 3
+        assert arguments.dir == "state"
+
+
+def test_dataset_file_option_does_not_warn():
+    parser = cli._build_parser()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        arguments = parser.parse_args(
+            ["anonymize", "--dataset-file", "points.bin"]
+        )
+    assert arguments.dataset_file == "points.bin"
+
+
+def test_input_alias_still_works_but_warns_deprecation():
+    parser = cli._build_parser()
+    with pytest.deprecated_call(match="--input is deprecated"):
+        arguments = parser.parse_args(["anonymize", "--input", "points.bin"])
+    assert arguments.dataset_file == "points.bin"
+
+
+def test_input_alias_warns_only_once():
+    parser = cli._build_parser()
+    with pytest.deprecated_call():
+        parser.parse_args(["anonymize", "--input", "a.bin"])
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        parser.parse_args(["anonymize", "--input", "b.bin"])
+    assert not caught
+
+
+# -- durable command round trip ----------------------------------------------
+
+
+def run_cli(capsys, argv) -> tuple[int, str]:
+    code = cli.main(argv)
+    return code, capsys.readouterr().out
+
+
+def grep_line(output: str, label: str) -> str:
+    (line,) = [line for line in output.splitlines() if label in line]
+    return line
+
+
+def test_anonymize_recover_checkpoint_round_trip(tmp_path, capsys):
+    state = str(tmp_path / "state")
+    out_csv = str(tmp_path / "release.csv")
+    code, anonymize_out = run_cli(
+        capsys,
+        [
+            "anonymize",
+            "--records",
+            "1500",
+            "--k",
+            "10",
+            "--dir",
+            state,
+            "--out",
+            out_csv,
+        ],
+    )
+    assert code == 0
+    assert "durable:" in anonymize_out
+    assert (tmp_path / "release.csv").exists()
+
+    code, recover_out = run_cli(
+        capsys, ["recover", "--dir", state, "--k", "10"]
+    )
+    assert code == 0
+    assert grep_line(recover_out, "digest:") == grep_line(
+        anonymize_out, "digest:"
+    )
+
+    code, checkpoint_out = run_cli(capsys, ["checkpoint", "--dir", state])
+    assert code == 0
+    assert "checkpoint written at LSN" in checkpoint_out
+
+
+def test_recover_requires_dir(capsys):
+    code = cli.main(["recover"])
+    assert code == 2
+    assert "--dir" in capsys.readouterr().err
+
+
+def test_checkpoint_requires_dir(capsys):
+    code = cli.main(["checkpoint"])
+    assert code == 2
+    assert "--dir" in capsys.readouterr().err
+
+
+def test_anonymize_without_dir_stays_in_memory(tmp_path, capsys):
+    code, output = run_cli(
+        capsys, ["anonymize", "--records", "800", "--k", "5"]
+    )
+    assert code == 0
+    assert "durable:" not in output
+    assert "digest:" in output

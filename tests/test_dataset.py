@@ -155,3 +155,53 @@ class TestRecordIO:
         write_table(table, path)
         records = list(RecordFileReader(path).iter_records(first_rid=100))
         assert [record.rid for record in records] == list(range(100, 110))
+
+    def test_truncated_body_rejected_at_open(self, tmp_path, schema3: Schema) -> None:
+        """Header claims more records than the bytes on disk can hold."""
+        table = Table(schema3, random_records(100, seed=7))
+        path = tmp_path / "data.rec"
+        write_table(table, path)
+        data = path.read_bytes()
+        # Chop the last 1.5 records off the body; the header still says 100.
+        path.write_bytes(data[: len(data) - 18])
+        with pytest.raises(ValueError, match="header claims 100 records"):
+            RecordFileReader(path)
+
+    def test_truncation_error_names_offending_offset(
+        self, tmp_path, schema3: Schema
+    ) -> None:
+        table = Table(schema3, random_records(10, seed=7))
+        path = tmp_path / "data.rec"
+        write_table(table, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 12])  # exactly one record short
+        with pytest.raises(ValueError) as excinfo:
+            RecordFileReader(path)
+        # 12-byte header + 9 whole 12-byte records.
+        assert "byte offset 120" in str(excinfo.value)
+
+    def test_shrink_during_iteration_rejected(
+        self, tmp_path, schema3: Schema
+    ) -> None:
+        """A file truncated after open fails loudly, never short-reads."""
+        table = Table(schema3, random_records(100, seed=8))
+        path = tmp_path / "data.rec"
+        write_table(table, path)
+        reader = RecordFileReader(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 240])  # drop the last 20 records
+        stream = reader.iter_points(batch_size=16)
+        consumed = [next(stream) for _ in range(64)]
+        assert len(consumed) == 64
+        with pytest.raises(ValueError, match="short read at byte offset"):
+            list(stream)
+
+    def test_valid_slices_still_stream(self, tmp_path, schema3: Schema) -> None:
+        table = Table(schema3, random_records(200, seed=9))
+        path = tmp_path / "data.rec"
+        write_table(table, path)
+        reader = RecordFileReader(path)
+        middle = list(reader.iter_points(batch_size=17, start=50, count=100))
+        assert middle == table.points()[50:150]
+        with pytest.raises(ValueError, match="outside the file"):
+            list(reader.iter_points(start=150, count=100))

@@ -19,6 +19,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro import api
 from repro.api import Anonymizer, ReleaseResult
+from repro.serve import AnonymizerService, ReleaseSnapshot, ServiceConfig
 from repro.baselines.grid import GridFileAnonymizer, gridfile_anonymize
 from repro.baselines.mondrian import MondrianAnonymizer, mondrian_anonymize
 from repro.core.anonymizer import RTreeAnonymizer
@@ -68,6 +69,7 @@ __all__ = [
     "AgrawalGenerator",
     "AnonymizedTable",
     "Anonymizer",
+    "AnonymizerService",
     "Attribute",
     "AttributeKind",
     "BiasedSplitPolicy",
@@ -92,7 +94,9 @@ __all__ = [
     "ReleaseRegistry",
     "ReleaseRejected",
     "ReleaseResult",
+    "ReleaseSnapshot",
     "Schema",
+    "ServiceConfig",
     "Table",
     "WeightedSplitPolicy",
     "api",

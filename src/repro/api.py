@@ -16,6 +16,10 @@ schemas, loaders, pools and durability managers by hand:
   :class:`ReleaseResult`: the table, its audit record, and its digest.
 * :func:`recover` — rebuild a durable handle from its directory after a
   crash; the evidence trail is on :attr:`Anonymizer.recovery`.
+* :func:`open` with ``serve=True`` (or :func:`serve` directly) — a
+  thread-safe :class:`~repro.serve.AnonymizerService` handle that serves
+  immutable release snapshots to concurrent readers while a single
+  writer thread applies queued mutations (see docs/API.md "Serving").
 
 The migration table from the older layered API lives in ``docs/API.md``.
 """
@@ -39,14 +43,19 @@ from repro.durability.recovery import recover as _recover_directory
 from repro.index.split import SplitPolicy
 from repro.obs import AUDITOR
 from repro.obs.audit import audit_release
+from repro.serve import AnonymizerService, ReleaseSnapshot, ServiceConfig
 from repro.storage.buffer_pool import BufferPool
 
 __all__ = [
     "Anonymizer",
+    "AnonymizerService",
     "CheckpointResult",
     "ReleaseResult",
+    "ReleaseSnapshot",
+    "ServiceConfig",
     "open",
     "recover",
+    "serve",
 ]
 
 
@@ -235,13 +244,21 @@ def open(
     pool: "BufferPool[Record] | None" = None,
     split_policy: SplitPolicy | None = None,
     leaf_capacity: int | None = None,
-) -> Anonymizer:
+    serve: bool = False,
+    service_config: ServiceConfig | None = None,
+) -> "Anonymizer | AnonymizerService":
     """Create an anonymizer handle for a schema, table, or record file.
 
     A :class:`Schema` or :class:`Table` is used directly (a table's
     records are *not* loaded — call :meth:`Anonymizer.load`).  A path is
     scanned once, streaming, to synthesize a numeric schema from the data
     extent; pass the same path to :meth:`Anonymizer.load` to ingest it.
+
+    ``serve=True`` returns a thread-safe
+    :class:`~repro.serve.AnonymizerService` instead: concurrent readers
+    get cached, epoch-validated release snapshots while mutations flow
+    through a bounded, group-committed write queue.  ``service_config``
+    tunes the queue bound, batch size and cache.
     """
     if isinstance(source, Schema):
         schema_table = Table(source, ())
@@ -262,7 +279,25 @@ def open(
         leaf_capacity=leaf_capacity,
         durability=durability,
     )
+    if serve:
+        return AnonymizerService(engine, service_config)
+    if service_config is not None:
+        raise ValueError("service_config requires serve=True")
     return Anonymizer(engine)
+
+
+def serve(
+    source: "Schema | Table | str | Path",
+    *,
+    service_config: ServiceConfig | None = None,
+    **kwargs: object,
+) -> AnonymizerService:
+    """Shorthand for :func:`open` with ``serve=True``."""
+    handle = open(
+        source, serve=True, service_config=service_config, **kwargs  # type: ignore[arg-type]
+    )
+    assert isinstance(handle, AnonymizerService)
+    return handle
 
 
 def recover(

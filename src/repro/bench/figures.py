@@ -999,6 +999,82 @@ def recovery_bench(
     return result
 
 
+def serve_bench(
+    records: int = 10_000,
+    write_rounds: int = 10,
+    write_batch: int = 200,
+    reads_per_round: int = 20,
+    ks: Sequence[int] = (10, 25, 50),
+    base_k: int = 5,
+    seed: int = 1,
+) -> BenchTable:
+    """Mixed read/write serving throughput, cached vs uncached (repro.serve).
+
+    Drives one :class:`~repro.serve.AnonymizerService` through alternating
+    rounds of queued writes and release reads: each round submits one
+    ``write_batch``-record group through the write queue, waits for the
+    group commit (``barrier``), then serves ``reads_per_round`` releases
+    cycling over ``ks``.  With the cache on, only the first read per k per
+    round recomputes (the epoch bump invalidated the previous round's
+    snapshots) and the rest are cache hits; with it off every read pays
+    the full leaf-scan under the write lock.  The spread between the two
+    ``reads/s`` rows is the serving layer's contribution.
+
+    Single-threaded by design: each round's group is submitted alone and
+    barriered, so the coalescing, epoch and cache counters are
+    deterministic and can sit in the bench-regression trail.
+    """
+    from repro.serve import AnonymizerService, ServiceConfig
+
+    table = LandsEndGenerator(seed).generate(
+        records + write_rounds * write_batch
+    )
+    base = Table(table.schema, tuple(table.records[:records]))
+    extra = table.records[records:]
+    result = BenchTable(
+        f"Serving under write load: {records:,} base records, "
+        f"{write_rounds} rounds of {write_batch} queued inserts",
+        [
+            "cache",
+            "reads",
+            "writes",
+            "reads/s",
+            "writes/s",
+            "cache hits",
+            "cache misses",
+        ],
+    )
+    for label, cached in (("on", True), ("off", False)):
+        engine = RTreeAnonymizer(table, base_k=base_k)
+        with AnonymizerService(
+            engine, ServiceConfig(cache_releases=cached)
+        ) as service:
+            service.load(base)
+            reads = writes = 0
+            with Timer() as timer:
+                for round_index in range(write_rounds):
+                    start = round_index * write_batch
+                    service.submit_insert_batch(
+                        extra[start : start + write_batch]
+                    )
+                    service.barrier()
+                    writes += write_batch
+                    for read_index in range(reads_per_round):
+                        service.release(ks[read_index % len(ks)])
+                        reads += 1
+            stats = service.cache.stats
+            result.add(
+                label,
+                reads,
+                writes,
+                reads / timer.elapsed,
+                writes / timer.elapsed,
+                stats.hits,
+                stats.misses,
+            )
+    return result
+
+
 #: Registry used by the CLI: name -> driver.
 DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "fig7a": fig7a_bulk_times,
@@ -1022,4 +1098,5 @@ DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "ablation-indexes": ablation_index_families,
     "multigranular": multigranular_report,
     "recovery": recovery_bench,
+    "serve": serve_bench,
 }

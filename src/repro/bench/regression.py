@@ -64,6 +64,10 @@ KEY_COUNTERS: tuple[str, ...] = (
     "checkpoint.snapshots",
     "recovery.replayed_ops",
     "recovery.discarded_ops",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.epoch_bumps",
+    "serve.write_groups",
 )
 
 
@@ -83,6 +87,17 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
             ("fig8b", {"records": 4_000, "k": 10, "seed": 3}),
             ("fig10", {"records": 4_000, "ks": (10,), "seed": 1}),
             ("recovery", {"records": 2_000, "tail_ops": (0, 200), "k": 10, "seed": 1}),
+            (
+                "serve",
+                {
+                    "records": 2_000,
+                    "write_rounds": 4,
+                    "write_batch": 100,
+                    "reads_per_round": 9,
+                    "ks": (10, 25),
+                    "seed": 1,
+                },
+            ),
         ]
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
@@ -91,6 +106,17 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
         ("fig8b", {"records": 20_000, "k": 10, "seed": 3}),
         ("fig10", {"records": 20_000, "ks": (10, 50), "seed": 1}),
         ("recovery", {"records": 10_000, "tail_ops": (0, 500, 2_000), "k": 10, "seed": 1}),
+        (
+            "serve",
+            {
+                "records": 10_000,
+                "write_rounds": 10,
+                "write_batch": 200,
+                "reads_per_round": 20,
+                "ks": (10, 25, 50),
+                "seed": 1,
+            },
+        ),
     ]
 
 

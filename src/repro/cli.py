@@ -18,6 +18,7 @@
     repro anonymize --dir state/   # durable: WAL + checkpoint in state/
     repro recover --dir state/     # rebuild after a crash, publish a release
     repro checkpoint --dir state/  # offline checkpoint (bounds replay work)
+    repro serve-bench              # serving throughput, cached vs uncached
 
 The data-facing commands (``anonymize``, ``bench``, ``recover``,
 ``checkpoint``) share one option vocabulary — ``--dataset``, ``--k``,
@@ -215,6 +216,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("  anonymize (sharded parallel bulk anonymization; see --workers)")
         print("  recover (rebuild a durable anonymizer from --dir after a crash)")
         print("  checkpoint (snapshot a durable --dir, truncating its WAL)")
+        print("  serve-bench (alias of 'serve': throughput under write load)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -244,6 +246,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(name: str, arguments: argparse.Namespace) -> int:
     """Run one experiment id (tracing, if any, is already on)."""
     profiling = arguments.profile or arguments.profile_json is not None
+    if name == "serve-bench":  # the serving figure's command-line spelling
+        name = "serve"
     if name == "stats":
         _stats_command(arguments)
         return 0

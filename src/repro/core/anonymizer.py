@@ -260,25 +260,53 @@ class RTreeAnonymizer:
         return consumed
 
     def insert(self, record: Record) -> None:
-        """Insert one record through the ordinary index-maintenance path."""
+        """Insert one record through the ordinary index-maintenance path.
+
+        Apply-then-log, with compensation: if the write-ahead log append
+        fails (disk full, I/O error) the in-memory insert is rolled back
+        before the exception propagates, so memory and the WAL never
+        diverge — a checkpoint after the failure would otherwise persist an
+        operation that a recovery from the *previous* checkpoint replays
+        without.
+        """
         self._tree.insert(record)
         if self._durability is not None:
-            self._durability.log_insert(record)
+            try:
+                self._durability.log_insert(record)
+            except BaseException:
+                self._tree.delete(record.rid, record.point)
+                raise
 
     def delete(self, rid: int, point: Sequence[float]) -> Record:
-        """Delete one record; the occupancy floor is restored before returning."""
+        """Delete one record; the occupancy floor is restored before returning.
+
+        Compensates like :meth:`insert`: a failed WAL append reinserts the
+        removed record so the acknowledged state equals the logged state.
+        """
         removed = self._tree.delete(rid, point)
         if self._durability is not None:
-            self._durability.log_delete(rid, point)
+            try:
+                self._durability.log_delete(rid, point)
+            except BaseException:
+                self._tree.insert(removed)
+                raise
         return removed
 
     def update(
         self, rid: int, old_point: Sequence[float], record: Record
     ) -> Record:
-        """Update a record's quasi-identifiers (a move between leaves)."""
+        """Update a record's quasi-identifiers (a move between leaves).
+
+        Compensates like :meth:`insert`: a failed WAL append reverses the
+        move (the new record comes out, the replaced one goes back in).
+        """
         replaced = self._tree.update(rid, old_point, record)
         if self._durability is not None:
-            self._durability.log_update(rid, old_point, record)
+            try:
+                self._durability.log_update(rid, old_point, record)
+            except BaseException:
+                self._tree.update(record.rid, record.point, replaced)
+                raise
         return replaced
 
     # -- releases ------------------------------------------------------------------

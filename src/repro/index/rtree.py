@@ -425,9 +425,53 @@ class RPlusTree:
         leaf.records = []
         self._dissolve_leaf(leaf)
         self._count -= len(orphans)
-        for orphan in orphans:
-            self.insert(orphan)
+        reinserted = 0
+        try:
+            for orphan in orphans:
+                self.insert(orphan)
+                reinserted += 1
+        except BaseException:
+            # The leaf is already dissolved and the counts decremented; a
+            # failed reinsert (split-policy error, leaf-store I/O fault)
+            # must not vanish the remaining orphans, and delete() raising
+            # means the caller's record stays too.  Restore everything
+            # through a fail-safe path that cannot itself raise.
+            self._restore_records(orphans[reinserted:])
+            self._restore_records([removed])
+            raise
         return removed
+
+    def _restore_records(self, records: Sequence[Record]) -> None:
+        """Put records back into the tree without any fallible machinery.
+
+        The underflow-recovery path: routes each record to its leaf and
+        appends in memory only — no split (a leaf left over-capacity is
+        privacy-safe; only the k-floor matters) and best-effort store
+        mirroring (the paged store is a metering layer and may be the very
+        thing that failed).
+        """
+        touched: dict[int, LeafNode] = {}
+        for record in records:
+            node = self._root
+            if node is None:
+                node = self._root = LeafNode()
+            while not node.is_leaf:
+                node = node.route(record.point)  # type: ignore[union-attr]
+            leaf: LeafNode = node  # type: ignore[assignment]
+            leaf.records.append(record)
+            self._count += 1
+            self._grow_mbrs(leaf, record.point)
+            touched[leaf.node_id] = leaf
+            try:
+                self._store.on_append(leaf, record)
+            except Exception:
+                pass  # metering only; the in-memory tree stays authoritative
+        for leaf in touched.values():
+            if len(leaf.records) > self._split_trigger:
+                try:
+                    self._split_leaf(leaf)
+                except Exception:
+                    pass  # over-full is privacy-safe; splitting is optional here
 
     def _shrink_mbrs(self, leaf: LeafNode) -> None:
         leaf.recompute_mbr()

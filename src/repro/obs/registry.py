@@ -68,12 +68,20 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "checkpoint.bytes",
     "recovery.replayed_ops",
     "recovery.discarded_ops",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.cache_invalidations",
+    "serve.epoch_bumps",
+    "serve.write_groups",
+    "serve.queued_writes",
 )
 
 #: Histogram names pre-registered alongside the counters.
 DEFAULT_HISTOGRAMS: tuple[str, ...] = (
     "rtree.routing_depth",
     "buffer_tree.records_per_flush",
+    "serve.queue_wait_seconds",
+    "serve.group_size",
 )
 
 #: Everything :meth:`MetricsRegistry.enable` declares up front.

@@ -1,0 +1,40 @@
+"""repro.serve — concurrent release serving over a live anonymizer.
+
+Real indexes serve reads *while* being updated; this package gives the
+anonymization index the same property.  :class:`AnonymizerService` wraps
+one :class:`~repro.core.anonymizer.RTreeAnonymizer` behind a
+single-writer/multi-reader protocol:
+
+* **writers** submit mutations into a bounded queue (backpressure instead
+  of unbounded memory growth); a dedicated writer thread applies them
+  under the write lock, coalescing runs of inserts into one
+  group-committed batch (one buffered tree pass, one WAL batch-commit
+  fsync);
+* **readers** call :meth:`AnonymizerService.release` and get an immutable
+  :class:`ReleaseSnapshot` — computed under the lock on a cache miss,
+  served straight from the epoch-validated :class:`ReleaseCache` on a hit,
+  and never a view of a tree mid-mutation;
+* every applied write group bumps the service **epoch**, lazily
+  invalidating cached releases, so a reader can never observe a
+  pre-mutation release after its mutation was acknowledged.
+
+See docs/API.md ("Serving") and TUTORIAL §11 for the walkthrough.
+"""
+
+from repro.serve.cache import ReleaseCache, ReleaseSnapshot
+from repro.serve.queue import WriteOp, WriteQueue
+from repro.serve.service import (
+    AnonymizerService,
+    ServiceClosedError,
+    ServiceConfig,
+)
+
+__all__ = [
+    "AnonymizerService",
+    "ReleaseCache",
+    "ReleaseSnapshot",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "WriteOp",
+    "WriteQueue",
+]

@@ -1,0 +1,116 @@
+"""Immutable release snapshots and the epoch-validated release cache.
+
+A :class:`ReleaseSnapshot` is one published release frozen at a service
+epoch: the anonymized table, its audit record, its sha256 digest, and the
+epoch it reflects.  Snapshots are what readers receive — never the live
+tree — so a concurrent writer can mutate freely without tearing a read.
+
+The :class:`ReleaseCache` keys snapshots by the full release recipe —
+``(k, strategy, compacted, constraint)`` — and validates every lookup
+against the current epoch.  Constraints are keyed by *identity* (the
+callable object itself participates in the key, which doubles as the
+"constraint fingerprint": two requests share a cache line iff they pass
+the very same constraint object, and holding the object in the key keeps
+the identity stable).  Invalidation is epoch-based and lazy: writers only
+bump an integer; a stale entry is dropped at the next lookup that trips
+over it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.partition import AnonymizedTable
+from repro.obs import OBS
+
+#: A cache key: (k, strategy, compacted, constraint-or-None).
+CacheKey = tuple[int, str, bool, Hashable]
+
+
+@dataclass(frozen=True)
+class ReleaseSnapshot:
+    """One immutable published release, frozen at a service epoch.
+
+    ``epoch`` is the service epoch the snapshot was computed at; the cache
+    serves it only while the epoch is current.  ``audit`` is the release's
+    structured privacy-audit record (same shape as
+    :func:`repro.obs.audit.audit_release`), ``digest`` the sha256 release
+    fingerprint used by the differential suites.
+    """
+
+    table: AnonymizedTable
+    audit: Mapping[str, object]
+    digest: str
+    k: int
+    strategy: str
+    compacted: bool
+    epoch: int
+
+    @property
+    def record_count(self) -> int:
+        return self.table.record_count
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.table.partitions)
+
+    @property
+    def k_satisfied(self) -> bool:
+        return bool(self.audit["k_satisfied"])
+
+
+@dataclass
+class CacheStats:
+    """Monotonic hit/miss/invalidation counters (mirrored into repro.obs)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+
+class ReleaseCache:
+    """A thread-safe release cache with lazy epoch invalidation.
+
+    ``get`` returns a snapshot only when its epoch matches the epoch the
+    caller read from the service; an entry recorded at an older epoch is
+    dropped on the spot (a write happened since — the release may no
+    longer reflect the data).  ``put`` atomically swaps the published
+    snapshot for its key.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[CacheKey, ReleaseSnapshot] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey, epoch: int) -> ReleaseSnapshot | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.epoch != epoch:
+                # Lazy invalidation: a write bumped the epoch since this
+                # snapshot was published.
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                if OBS.enabled:
+                    OBS.count("serve.cache_invalidations")
+                return None
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, snapshot: ReleaseSnapshot) -> None:
+        with self._lock:
+            self._entries[key] = snapshot
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

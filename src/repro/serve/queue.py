@@ -1,0 +1,96 @@
+"""The bounded write queue feeding the service's single writer thread.
+
+Mutations enter as :class:`WriteOp` items through a ``queue.Queue`` with a
+hard size bound — a producer that outruns the writer blocks (or times
+out) instead of growing memory without limit.  The writer drains the
+queue in **groups**: a run of consecutive insert-class operations is
+coalesced into one group so the service can apply it as a single buffered
+``insert_batch`` under one WAL batch-commit (group commit); every other
+operation (delete, update, barrier) forms a group of its own, preserving
+submission order exactly.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Operation kinds a WriteOp can carry.
+INSERT_KINDS = ("insert", "insert_batch")
+
+
+@dataclass
+class WriteOp:
+    """One queued mutation: kind, payload, and the future that resolves it.
+
+    ``enqueued_at`` is the ``time.perf_counter()`` stamp taken at submit
+    time; the writer uses it to record queue-wait spans and the
+    ``serve.queue_wait_seconds`` histogram.
+    """
+
+    kind: str  # "insert" | "insert_batch" | "delete" | "update" | "barrier"
+    payload: tuple
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+#: Sentinel closing the queue; always the last item the writer sees.
+_STOP = object()
+
+
+class WriteQueue:
+    """A bounded FIFO of write operations with group-coalescing takes."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self._queue: _queue.Queue = _queue.Queue(maxsize)
+        self._pending: list[object] = []  # one op deferred by coalescing
+
+    @property
+    def maxsize(self) -> int:
+        return self._queue.maxsize
+
+    def depth(self) -> int:
+        """Approximate queued-op count (racy by nature, fine for gauges)."""
+        return self._queue.qsize() + len(self._pending)
+
+    def put(self, op: WriteOp, timeout: float | None = None) -> None:
+        """Enqueue, blocking while the queue is full (the backpressure).
+
+        Raises ``queue.Full`` when ``timeout`` elapses first.
+        """
+        self._queue.put(op, timeout=timeout)
+
+    def put_stop(self) -> None:
+        """Enqueue the terminal sentinel (blocks until there is room)."""
+        self._queue.put(_STOP)
+
+    def take_group(self, max_batch: int) -> Sequence[WriteOp] | None:
+        """Block for the next group of operations; ``None`` means stop.
+
+        A group is either a run of up to ``max_batch`` consecutive
+        insert-class operations (coalesced for group commit) or exactly
+        one non-insert operation.  An operation that would break a run is
+        deferred — never reordered — to the next call.
+        """
+        first = self._pending.pop() if self._pending else self._queue.get()
+        if first is _STOP:
+            return None
+        assert isinstance(first, WriteOp)
+        group = [first]
+        if first.kind not in INSERT_KINDS:
+            return group
+        while len(group) < max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                break
+            if item is _STOP or item.kind not in INSERT_KINDS:  # type: ignore[union-attr]
+                self._pending.append(item)
+                break
+            group.append(item)  # type: ignore[arg-type]
+        return group

@@ -79,9 +79,22 @@ class BufferPool(Generic[ItemT]):
         return page
 
     def mark_dirty(self, page_id: int) -> None:
-        """Record that a cached page has been modified in place."""
-        if page_id in self._cached:
-            self._dirty.add(page_id)
+        """Record that a cached page has been modified in place.
+
+        Raises ``KeyError`` when the page is not resident: the caller
+        mutated a page object the pool has since evicted, so silently
+        ignoring the call would drop that modification on the floor (the
+        evicted copy was written back *before* the change).  Callers must
+        hold the page via :meth:`get` — pass ``for_write=True`` to mark it
+        dirty atomically with the fetch, which every in-tree mutation site
+        (:class:`~repro.index.leaf_store.PagedLeafStore`) does.
+        """
+        if page_id not in self._cached:
+            raise KeyError(
+                f"page {page_id} is not resident in the pool; re-fetch it "
+                "with get(page_id, for_write=True) before modifying it"
+            )
+        self._dirty.add(page_id)
 
     def free(self, page_id: int) -> None:
         """Drop a page entirely (it will never be written back)."""

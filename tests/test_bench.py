@@ -125,7 +125,7 @@ class TestFigureDrivers:
             "fig12a", "fig12b", "fig12c", "fig12d",
             "ablation-bulkload", "ablation-split", "ablation-gridfile",
             "ablation-estimator", "ablation-weighted", "ablation-indexes",
-            "ablation-loading", "multigranular", "recovery",
+            "ablation-loading", "multigranular", "recovery", "serve",
         }
 
     def test_recovery_bench(self, tmp_path, monkeypatch) -> None:
@@ -133,6 +133,19 @@ class TestFigureDrivers:
         table = figures.recovery_bench(records=1_000, tail_ops=(0, 100), k=5)
         assert len(table.rows) == 2
         assert all(row[-1] == "yes" for row in table.rows)  # digest match
+
+    def test_serve_bench(self) -> None:
+        table = figures.serve_bench(
+            records=1_000,
+            write_rounds=2,
+            write_batch=50,
+            reads_per_round=5,
+            ks=(5, 10),
+        )
+        assert [str(row[0]) for row in table.rows] == ["on", "off"]
+        cached, uncached = table.rows
+        assert cached[5] > 0  # the cache actually hit
+        assert uncached[5] == 0  # and was actually off
 
 
 class TestCLI:

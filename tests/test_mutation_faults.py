@@ -1,0 +1,144 @@
+"""Regression tests: single-op mutations must not diverge from the WAL.
+
+The anonymizer applies a mutation to the in-memory tree and then logs it
+to the write-ahead log.  If the log append raises (disk full, I/O error),
+the tree mutation must be rolled back — otherwise the acknowledged
+in-memory state and the durable log disagree, and a recovery from the
+prior checkpoint silently replays *without* the operation (the data-loss
+scenario these tests inject).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.partition import release_digest
+from repro.dataset.record import Record
+from repro.dataset.table import Table
+from repro.durability import DurabilityConfig, recover
+from tests.conftest import random_records
+
+
+class FaultyWAL:
+    """A write-ahead log wrapper whose appends fail while armed."""
+
+    def __init__(self, inner) -> None:  # noqa: ANN001
+        self._inner = inner
+        self.armed = False
+
+    def _maybe_fail(self) -> None:
+        if self.armed:
+            raise OSError("injected WAL append failure (disk full)")
+
+    def append_insert(self, record, **kwargs):  # noqa: ANN001, ANN003
+        self._maybe_fail()
+        return self._inner.append_insert(record, **kwargs)
+
+    def append_delete(self, rid, point):  # noqa: ANN001
+        self._maybe_fail()
+        return self._inner.append_delete(rid, point)
+
+    def append_update(self, rid, old_point, record):  # noqa: ANN001
+        self._maybe_fail()
+        return self._inner.append_update(rid, old_point, record)
+
+    def __getattr__(self, name: str):  # noqa: ANN204 - delegate the rest
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def faulty_durable(tmp_path, schema3):
+    """A checkpointed durable anonymizer whose WAL can be armed to fail."""
+    records = random_records(100, seed=31)
+    table = Table(schema3, tuple(records))
+    anonymizer = RTreeAnonymizer(
+        table, base_k=5, durability=DurabilityConfig(tmp_path / "state")
+    )
+    anonymizer.bulk_load(table)
+    anonymizer.checkpoint()
+    manager = anonymizer.durability
+    assert manager is not None
+    wal = FaultyWAL(manager._wal)
+    manager._wal = wal
+    return anonymizer, wal, records
+
+
+def _live_vs_recovered_digests(anonymizer, tmp_path, k: int = 10):
+    """The live release digest and a cold recovery's, side by side."""
+    live = release_digest(anonymizer.anonymize(k))
+    anonymizer.close()
+    outcome = recover(tmp_path / "state")
+    recovered = release_digest(outcome.anonymizer.anonymize(k))
+    outcome.anonymizer.close()
+    return live, recovered
+
+
+def test_insert_rolls_back_when_logging_fails(faulty_durable, tmp_path):
+    anonymizer, wal, _records = faulty_durable
+    wal.armed = True
+    newcomer = Record(500, (1.0, 2.0, 3.0), ("flu",))
+    with pytest.raises(OSError, match="injected"):
+        anonymizer.insert(newcomer)
+    wal.armed = False
+    # The tree must not hold what the WAL never saw.
+    assert len(anonymizer) == 100
+    assert anonymizer.tree.locate_leaf(newcomer.point) is not None
+    rids = {r.rid for leaf in anonymizer.tree.leaves() for r in leaf.records}
+    assert 500 not in rids
+    live, recovered = _live_vs_recovered_digests(anonymizer, tmp_path)
+    assert live == recovered
+
+
+def test_delete_rolls_back_when_logging_fails(faulty_durable, tmp_path):
+    anonymizer, wal, records = faulty_durable
+    victim = records[17]
+    wal.armed = True
+    with pytest.raises(OSError, match="injected"):
+        anonymizer.delete(victim.rid, victim.point)
+    wal.armed = False
+    assert len(anonymizer) == 100
+    rids = {r.rid for leaf in anonymizer.tree.leaves() for r in leaf.records}
+    assert victim.rid in rids
+    live, recovered = _live_vs_recovered_digests(anonymizer, tmp_path)
+    assert live == recovered
+
+
+def test_update_rolls_back_when_logging_fails(faulty_durable, tmp_path):
+    anonymizer, wal, records = faulty_durable
+    old = records[23]
+    moved = Record(old.rid, (50.0, 50.0, 50.0), old.sensitive)
+    wal.armed = True
+    with pytest.raises(OSError, match="injected"):
+        anonymizer.update(old.rid, old.point, moved)
+    wal.armed = False
+    assert len(anonymizer) == 100
+    # The record is still at its old point, not the new one.
+    found = [
+        r
+        for leaf in anonymizer.tree.leaves()
+        for r in leaf.records
+        if r.rid == old.rid
+    ]
+    assert found == [old]
+    live, recovered = _live_vs_recovered_digests(anonymizer, tmp_path)
+    assert live == recovered
+
+
+def test_later_checkpoint_cannot_persist_an_unlogged_op(faulty_durable, tmp_path):
+    """The issue's exact scenario: failed log, then checkpoint, then crash.
+
+    Without the rollback the checkpoint persists the phantom insert while
+    a recovery from the *prior* checkpoint replays without it — two
+    durable states for one history.  With the rollback both recoveries
+    agree with the live tree.
+    """
+    anonymizer, wal, _records = faulty_durable
+    wal.armed = True
+    with pytest.raises(OSError, match="injected"):
+        anonymizer.insert(Record(501, (9.0, 9.0, 9.0), ("flu",)))
+    wal.armed = False
+    anonymizer.insert(Record(502, (8.0, 8.0, 8.0), ("flu",)))
+    anonymizer.checkpoint()
+    live, recovered = _live_vs_recovered_digests(anonymizer, tmp_path)
+    assert live == recovered

@@ -201,6 +201,72 @@ class TestDeletion:
         assert len(tree) == 0
         tree.check_invariants()
 
+    def test_failed_orphan_reinsert_loses_no_records(self) -> None:
+        # Regression: the underflow path dissolves the leaf and decrements
+        # the count *before* reinserting the orphans; an insert that raised
+        # partway used to vanish the remaining orphans silently.
+        records = random_records(120, seed=21)
+        tree = fresh_tree(k=3)
+        for record in records:
+            tree.insert(record)
+        leaf = next(
+            candidate
+            for candidate in tree.leaves()
+            if candidate is not tree.root and len(candidate.records) == 3
+        )
+        victim = leaf.records[0]
+
+        def failing_insert(record: Record) -> None:
+            raise OSError("injected insert failure")
+
+        tree.insert = failing_insert  # type: ignore[method-assign]
+        try:
+            with pytest.raises(OSError, match="injected"):
+                tree.delete(victim.rid, victim.point)
+        finally:
+            del tree.insert
+        # The delete raised, so the tree must hold *everything* it held
+        # before the call — the orphans and the victim alike.
+        assert len(tree) == len(records)
+        surviving = {r.rid for leaf in tree.leaves() for r in leaf.records}
+        assert surviving == {r.rid for r in records}
+
+    def test_failed_orphan_reinsert_partway_restores_remainder(self) -> None:
+        # The second reinsert fails: the first orphan stays where the real
+        # insert put it, the rest (and the victim) come back via the
+        # fail-safe restore path.
+        records = random_records(120, seed=22)
+        tree = fresh_tree(k=3)
+        for record in records:
+            tree.insert(record)
+        leaf = min(
+            (c for c in tree.leaves() if c is not tree.root),
+            key=lambda c: len(c.records),
+        )
+        while len(leaf.records) > 3:  # shave down to the k-floor first
+            doomed = leaf.records[-1]
+            tree.delete(doomed.rid, doomed.point)
+            records = [r for r in records if r.rid != doomed.rid]
+        victim = leaf.records[0]
+        real_insert = tree.insert
+        calls = {"count": 0}
+
+        def flaky_insert(record: Record) -> None:
+            calls["count"] += 1
+            if calls["count"] >= 2:
+                raise OSError("injected insert failure")
+            real_insert(record)
+
+        tree.insert = flaky_insert  # type: ignore[method-assign]
+        try:
+            with pytest.raises(OSError, match="injected"):
+                tree.delete(victim.rid, victim.point)
+        finally:
+            del tree.insert
+        assert len(tree) == len(records)
+        surviving = {r.rid for leaf in tree.leaves() for r in leaf.records}
+        assert surviving == {r.rid for r in records}
+
     def test_height_shrinks_as_tree_drains(self) -> None:
         records = random_records(1_000, seed=11)
         tree = fresh_tree(k=3)

@@ -114,6 +114,27 @@ class TestBufferPool:
         pool.get(b.page_id)
         assert pagefile.stats.reads == 1  # b had to come back
 
+    def test_mark_dirty_resident_page_is_written_back(self) -> None:
+        pagefile, pool = self.make_pool(2)
+        page = pool.new_page()
+        pool.flush()  # clean now
+        page.append(1)  # in-place modification of the cached page
+        pool.mark_dirty(page.page_id)
+        writes = pagefile.stats.writes
+        pool.flush()
+        assert pagefile.stats.writes == writes + 1
+
+    def test_mark_dirty_evicted_page_raises(self) -> None:
+        # Regression: mark_dirty used to silently no-op when the page had
+        # been evicted, dropping the caller's in-place modification (the
+        # evicted copy was written back *before* the change).
+        pagefile, pool = self.make_pool(1)
+        page = pool.new_page()
+        pool.new_page()  # evicts page
+        page.append(1)  # modification the pool can no longer see
+        with pytest.raises(KeyError, match="not resident"):
+            pool.mark_dirty(page.page_id)
+
     def test_free_skips_writeback(self) -> None:
         pagefile, pool = self.make_pool(2)
         page = pool.new_page()

@@ -19,7 +19,12 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro import api
 from repro.api import Anonymizer, ReleaseResult
-from repro.serve import AnonymizerService, ReleaseSnapshot, ServiceConfig
+from repro.serve import (
+    AnonymizerService,
+    ReleaseSnapshot,
+    ServiceConfig,
+    TelemetryConfig,
+)
 from repro.baselines.grid import GridFileAnonymizer, gridfile_anonymize
 from repro.baselines.mondrian import MondrianAnonymizer, mondrian_anonymize
 from repro.core.anonymizer import RTreeAnonymizer
@@ -98,6 +103,7 @@ __all__ = [
     "Schema",
     "ServiceConfig",
     "Table",
+    "TelemetryConfig",
     "WeightedSplitPolicy",
     "api",
     "average_error",

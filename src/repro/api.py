@@ -43,7 +43,12 @@ from repro.durability.recovery import recover as _recover_directory
 from repro.index.split import SplitPolicy
 from repro.obs import AUDITOR
 from repro.obs.audit import audit_release
-from repro.serve import AnonymizerService, ReleaseSnapshot, ServiceConfig
+from repro.serve import (
+    AnonymizerService,
+    ReleaseSnapshot,
+    ServiceConfig,
+    TelemetryConfig,
+)
 from repro.storage.buffer_pool import BufferPool
 
 __all__ = [
@@ -53,6 +58,7 @@ __all__ = [
     "ReleaseResult",
     "ReleaseSnapshot",
     "ServiceConfig",
+    "TelemetryConfig",
     "open",
     "recover",
     "serve",

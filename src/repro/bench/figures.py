@@ -1007,6 +1007,7 @@ def serve_bench(
     ks: Sequence[int] = (10, 25, 50),
     base_k: int = 5,
     seed: int = 1,
+    repeats: int = 3,
 ) -> BenchTable:
     """Mixed read/write serving throughput, cached vs uncached (repro.serve).
 
@@ -1023,8 +1024,45 @@ def serve_bench(
     Single-threaded by design: each round's group is submitted alone and
     barriered, so the coalescing, epoch and cache counters are
     deterministic and can sit in the bench-regression trail.
+
+    The third row repeats the cached run with the live telemetry endpoint
+    up: the timed window pays every per-operation telemetry cost (the
+    endpoint thread, watchdog heartbeats, queue/backpressure gauges, the
+    extra latency histograms), and the ``/metrics`` scrape path is then
+    exercised once per round *outside* the timer — a real scraper fires
+    every few seconds, so folding even one scrape into a
+    milliseconds-long bench window would model a scrape rate of hundreds
+    per second, which no deployment has.  The ``telemetry_overhead``
+    extra is the fractional reads/s lost versus the unobserved cached
+    run; the committed trail asserts it stays affordable.
+
+    Every variant runs ``repeats`` times (a fresh engine and service per
+    repeat), and each write/read round is timed individually; a
+    variant's reported wall clock is the **sum of per-round minima**
+    across its repeats.  Whole-window best-of cannot resolve a
+    few-percent delta on windows this short — one scheduler stall or
+    cgroup throttle episode (tens of ms, i.e. a double-digit percentage
+    of the window) poisons an entire repeat, and with a handful of
+    repeats some variant usually eats one in every repeat.  Per-round
+    minima reject those additive stalls at round granularity: each round
+    only needs *one* clean sample among the repeats.  The repeats are
+    also **interleaved and rotated** (one repeat of every variant per
+    pass, starting position shifting each pass) so machine-level drift
+    lands on all variants instead of biasing a block.  The obs counters
+    simply accumulate ``repeats`` identical runs, so they stay
+    deterministic in the trail.
     """
+    import urllib.request
+
+    from repro import obs
+    from repro.obs.live import TelemetryConfig
     from repro.serve import AnonymizerService, ServiceConfig
+
+    # The latency-quantile extras need the registry; collect locally when
+    # the caller (CLI without --profile) has not already enabled it.
+    owns_obs = not obs.OBS.enabled
+    if owns_obs:
+        obs.enable()
 
     table = LandsEndGenerator(seed).generate(
         records + write_rounds * write_batch
@@ -1044,34 +1082,88 @@ def serve_bench(
             "cache misses",
         ],
     )
-    for label, cached in (("on", True), ("off", False)):
-        engine = RTreeAnonymizer(table, base_k=base_k)
-        with AnonymizerService(
-            engine, ServiceConfig(cache_releases=cached)
-        ) as service:
-            service.load(base)
-            reads = writes = 0
-            with Timer() as timer:
+    reads_per_second: dict[str, float] = {}
+    variants = (
+        ("on", True, None),
+        ("off", False, None),
+        ("on+telemetry", True, TelemetryConfig(endpoint=True)),
+    )
+    round_minima = {
+        label: [float("inf")] * write_rounds for label, _, _ in variants
+    }
+    observed: dict[str, tuple[int, int, int, int]] = {}
+    uncached, paired = variants[1], (variants[0], variants[2])
+    for pass_index in range(max(1, repeats)):
+        # Each pass runs the heavy uncached variant first (it absorbs
+        # any cross-pass allocator/GC churn), then the cached pair whose
+        # delta is the telemetry overhead — back to back, swapping their
+        # internal order every pass so neither always enjoys the warmer
+        # position.
+        pair = paired if pass_index % 2 == 0 else paired[::-1]
+        for label, cached, telemetry in (uncached, *pair):
+            engine = RTreeAnonymizer(table, base_k=base_k)
+            with AnonymizerService(
+                engine, ServiceConfig(cache_releases=cached, telemetry=telemetry)
+            ) as service:
+                service.load(base)
+                reads = writes = 0
+                minima = round_minima[label]
                 for round_index in range(write_rounds):
                     start = round_index * write_batch
-                    service.submit_insert_batch(
-                        extra[start : start + write_batch]
+                    with Timer() as timer:
+                        service.submit_insert_batch(
+                            extra[start : start + write_batch]
+                        )
+                        service.barrier()
+                        writes += write_batch
+                        for read_index in range(reads_per_round):
+                            service.release(ks[read_index % len(ks)])
+                            reads += 1
+                    minima[round_index] = min(
+                        minima[round_index], timer.elapsed
                     )
-                    service.barrier()
-                    writes += write_batch
-                    for read_index in range(reads_per_round):
-                        service.release(ks[read_index % len(ks)])
-                        reads += 1
-            stats = service.cache.stats
-            result.add(
-                label,
-                reads,
-                writes,
-                reads / timer.elapsed,
-                writes / timer.elapsed,
-                stats.hits,
-                stats.misses,
+                if telemetry is not None:
+                    for _ in range(write_rounds):  # deterministic scrape count
+                        with urllib.request.urlopen(
+                            service.telemetry_url + "/metrics", timeout=5
+                        ) as response:
+                            response.read()
+                stats = service.cache.stats
+                observed[label] = (reads, writes, stats.hits, stats.misses)
+    for label, _, _ in variants:
+        reads, writes, hits, misses = observed[label]
+        best_elapsed = sum(round_minima[label])
+        reads_per_second[label] = reads / best_elapsed
+        result.add(
+            label,
+            reads,
+            writes,
+            reads / best_elapsed,
+            writes / best_elapsed,
+            hits,
+            misses,
+        )
+    result.extras = {
+        "telemetry_off_reads_per_s": reads_per_second["on"],
+        "telemetry_on_reads_per_s": reads_per_second["on+telemetry"],
+        "telemetry_overhead": 1.0
+        - reads_per_second["on+telemetry"] / reads_per_second["on"],
+    }
+    # The serving latency sketches, in seconds (wal.fsync stays 0 here:
+    # the bench service runs without a durability directory).
+    for metric, short in (
+        ("serve.queue_wait_seconds", "queue_wait"),
+        ("serve.commit_seconds", "commit"),
+        ("serve.release_seconds", "release"),
+        ("wal.fsync_seconds", "wal_fsync"),
+    ):
+        for quantile in (0.5, 0.9, 0.99):
+            result.extras[f"{short}_p{int(quantile * 100)}"] = obs.OBS.percentile(
+                metric, quantile
             )
+    if owns_obs:
+        obs.disable()
+        obs.reset()
     return result
 
 

@@ -56,6 +56,10 @@ class BenchTable:
     title: str
     headers: Sequence[str]
     rows: list[Sequence[object]] = field(default_factory=list)
+    #: Derived scalars that ride along with the table (e.g. the serving
+    #: figure's telemetry-overhead ratio).  They print after the rows and
+    #: flow into the bench trail, where comparisons ignore unknown keys.
+    extras: dict[str, float] = field(default_factory=dict)
 
     def add(self, *cells: object) -> None:
         if len(cells) != len(self.headers):
@@ -89,6 +93,8 @@ class BenchTable:
         lines.append("  ".join("-" * w for w in widths))
         for row in formatted:
             lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        for name, value in self.extras.items():
+            lines.append(f"  {name}: {self._format(value)}")
         return "\n".join(lines)
 
     def show(self) -> None:

@@ -19,6 +19,8 @@
     repro recover --dir state/     # rebuild after a crash, publish a release
     repro checkpoint --dir state/  # offline checkpoint (bounds replay work)
     repro serve-bench              # serving throughput, cached vs uncached
+    repro serve-demo --port 8787   # live service with /metrics + /healthz
+    repro top --url http://127.0.0.1:8787   # refreshing telemetry dashboard
 
 The data-facing commands (``anonymize``, ``bench``, ``recover``,
 ``checkpoint``) share one option vocabulary — ``--dataset``, ``--k``,
@@ -201,6 +203,58 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench: wall-clock tolerance for --compare (e.g. 1.0 = up to 2x baseline)",
     )
+    live = parser.add_argument_group("live telemetry (repro serve-demo / repro top)")
+    live.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve-demo: interface for the telemetry endpoint",
+    )
+    live.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve-demo: telemetry endpoint port (0 = ephemeral, printed at start)",
+    )
+    live.add_argument(
+        "--seconds",
+        type=float,
+        default=5.0,
+        help="serve-demo: how long to keep the service alive under load",
+    )
+    live.add_argument(
+        "--slow-op-log",
+        metavar="PATH",
+        default=None,
+        help="serve-demo: append slow operations (JSONL, with trace spans) here",
+    )
+    live.add_argument(
+        "--slow-op-threshold",
+        type=float,
+        default=0.25,
+        help="serve-demo: seconds above which an operation is logged as slow",
+    )
+    live.add_argument(
+        "--url",
+        default=None,
+        help="top: base URL of a running telemetry endpoint (e.g. http://127.0.0.1:8787)",
+    )
+    live.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="top: seconds between dashboard refreshes",
+    )
+    live.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="top: number of frames to render (default: until interrupted)",
+    )
+    live.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="top: append frames instead of clearing the screen (log-friendly)",
+    )
     return parser
 
 
@@ -217,6 +271,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("  recover (rebuild a durable anonymizer from --dir after a crash)")
         print("  checkpoint (snapshot a durable --dir, truncating its WAL)")
         print("  serve-bench (alias of 'serve': throughput under write load)")
+        print("  serve-demo (live service exposing /metrics and /healthz; see --port)")
+        print("  top     (refreshing dashboard over a telemetry endpoint; see --url)")
         for key in DRIVERS:
             print(f"  {key}")
         print("  all     (run everything at default sizes)")
@@ -253,6 +309,10 @@ def _dispatch(name: str, arguments: argparse.Namespace) -> int:
         return 0
     if name == "bench":
         return _bench_command(arguments)
+    if name == "serve-demo":
+        return _serve_demo_command(arguments)
+    if name == "top":
+        return _top_command(arguments)
     if name == "anonymize":
         return _anonymize_command(arguments)
     if name == "recover":
@@ -334,6 +394,128 @@ def _bench_command(arguments: argparse.Namespace) -> int:
     print()
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _serve_demo_command(arguments: argparse.Namespace) -> int:
+    """``repro serve-demo``: a live service with its telemetry endpoint up.
+
+    Runs a telemetry-enabled :class:`~repro.serve.AnonymizerService` under
+    a steady write/release load for ``--seconds``, printing the endpoint
+    URL first so a scraper (CI's smoke job, ``repro top``, Prometheus) can
+    attach while it runs.  With ``--slow-op-log`` every operation slower
+    than ``--slow-op-threshold`` lands in the JSONL log with its recent
+    trace spans attached.
+    """
+    import time
+
+    from repro import api, obs
+
+    records = arguments.records if arguments.records is not None else 5_000
+    k = arguments.k if arguments.k is not None else 10
+    seed = arguments.seed if arguments.seed is not None else 1
+    profiling = arguments.profile or arguments.profile_json is not None
+    obs.enable()
+    from repro.dataset.landsend import make_landsend_table
+
+    table = make_landsend_table(records, seed=seed)
+    telemetry = api.TelemetryConfig(
+        endpoint=True,
+        host=arguments.host,
+        port=arguments.port,
+        slow_op_log=arguments.slow_op_log,
+        slow_op_threshold=arguments.slow_op_threshold,
+    )
+    service = api.serve(
+        table.schema,
+        service_config=api.ServiceConfig(telemetry=telemetry),
+    )
+    try:
+        print(f"serving telemetry at {service.telemetry_url}", flush=True)
+        print(
+            f"  GET /metrics (Prometheus text)  GET /healthz (JSON); "
+            f"load: {records:,} records, k={k}, {arguments.seconds:g}s",
+            flush=True,
+        )
+        deadline = time.monotonic() + arguments.seconds
+        batch = list(table.records)
+        chunk = max(1, len(batch) // 20)
+        offset = 0
+        releases = 0
+        while time.monotonic() < deadline:
+            if offset < len(batch):
+                service.insert_batch(batch[offset : offset + chunk])
+                offset += chunk
+            service.release(k=k)
+            releases += 1
+            time.sleep(0.05)
+        health = service.health()
+        print(
+            f"served {releases} release(s) over {offset:,} records; "
+            f"health={health['status']} epoch={health['epoch']}"
+        )
+        if service.slow_op_log is not None:
+            print(
+                f"  slow ops:   {service.slow_op_log.recorded} recorded "
+                f"in {service.slow_op_log.path}"
+            )
+        if profiling:
+            _show_profile("serve-demo", arguments.profile_json)
+        return 0
+    finally:
+        service.close()
+        obs.disable()
+
+
+def _top_command(arguments: argparse.Namespace) -> int:
+    """``repro top``: a refreshing dashboard over a telemetry endpoint.
+
+    Polls ``--url``'s ``/healthz`` and ``/metrics`` every ``--interval``
+    seconds and renders them with
+    :func:`~repro.obs.render.render_live` — health verdict, queue and
+    cache gauges, and the p50/p90/p99 latency rows.  ``--count`` bounds
+    the frames (for scripts); the default runs until interrupted.
+    """
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.live import parse_prometheus_text
+    from repro.obs.render import render_live
+
+    if arguments.url is None:
+        print("top requires --url (a serve-demo telemetry endpoint)", file=sys.stderr)
+        return 2
+    base = arguments.url.rstrip("/")
+    frames = 0
+    try:
+        while arguments.count is None or frames < arguments.count:
+            try:
+                # A stalled service answers /healthz with 503 on purpose;
+                # that is a frame to render, not a scrape failure.
+                try:
+                    response = urllib.request.urlopen(base + "/healthz", timeout=5)
+                except urllib.error.HTTPError as error:
+                    if error.code != 503:
+                        raise
+                    response = error
+                with response:
+                    health = json.load(response)
+                with urllib.request.urlopen(base + "/metrics", timeout=5) as response:
+                    samples = parse_prometheus_text(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                print(f"cannot scrape {base}: {error}", file=sys.stderr)
+                return 1
+            if not arguments.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_live(health, samples), flush=True)
+            frames += 1
+            if arguments.count is not None and frames >= arguments.count:
+                break
+            time.sleep(arguments.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _print_release(result, leaves: int | None = None) -> None:

@@ -44,13 +44,14 @@ from repro.obs.audit import (
 )
 from repro.obs.registry import (
     DEFAULT_COUNTERS,
+    DEFAULT_GAUGES,
     DEFAULT_HISTOGRAMS,
     DEFAULT_METRICS,
     Histogram,
     MetricsRegistry,
     environment_block,
 )
-from repro.obs.render import render_snapshot
+from repro.obs.render import render_live, render_snapshot
 from repro.obs.sinks import InMemorySink, JsonLinesSink, Sink, TableSink
 from repro.obs.trace import TraceEvent, Tracer, validate_chrome_trace
 
@@ -59,6 +60,10 @@ OBS = MetricsRegistry()
 
 #: The process-wide event tracer the built-in hooks record spans into.
 TRACE = Tracer()
+
+# Snapshots surface the tracer's drop counts so truncated traces are
+# visible in ``repro stats`` / ``--profile`` output.
+OBS.attach_tracer(TRACE)
 
 #: The process-wide release auditor the anonymizer publishes through.
 AUDITOR = ReleaseAuditor()
@@ -95,6 +100,7 @@ __all__ = [
     "AUDITOR",
     "AuditFailure",
     "DEFAULT_COUNTERS",
+    "DEFAULT_GAUGES",
     "DEFAULT_HISTOGRAMS",
     "DEFAULT_METRICS",
     "Histogram",
@@ -112,6 +118,7 @@ __all__ = [
     "disable",
     "enable",
     "environment_block",
+    "render_live",
     "render_snapshot",
     "render_table",
     "reset",

@@ -13,9 +13,16 @@ in order:
    any layer of the system (including :mod:`repro.storage`, the lowest)
    can hook into it without import cycles.
 3. **Cheap updates when enabled.**  Counters are dict slots; histograms
-   keep streaming aggregates (count/sum/min/max) plus power-of-two bucket
+   keep streaming aggregates (count/sum/min/max) plus log-scale bucket
    counts rather than sample reservoirs, so enabling instrumentation on a
    100M-record load does not itself become the bottleneck being measured.
+   The log buckets double as a quantile sketch: :meth:`Histogram.percentile`
+   answers p50/p90/p99 with a bounded relative error (~4%), which is what
+   the live serving telemetry (:mod:`repro.obs.live`) exposes.
+4. **Thread-safe when shared.**  The serving layer updates one registry
+   from its writer thread while reader threads observe release latencies
+   and the telemetry endpoint snapshots concurrently; every mutation and
+   snapshot happens under one internal lock.
 
 Metric names are dotted strings (``"rtree.leaf_splits"``); the well-known
 names emitted by the built-in hooks are declared in :data:`DEFAULT_METRICS`
@@ -25,15 +32,18 @@ so snapshots are schema-stable even for runs that never touch a given path
 
 from __future__ import annotations
 
+import math
 import platform
 import subprocess
 import sys
+import threading
 import time
 from datetime import datetime, timezone
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.sinks import Sink
+    from repro.obs.trace import Tracer
 
 #: Counter names pre-registered by :meth:`MetricsRegistry.enable` so every
 #: snapshot carries the full schema of the built-in instrumentation.
@@ -74,6 +84,17 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "serve.epoch_bumps",
     "serve.write_groups",
     "serve.queued_writes",
+    "serve.slow_ops",
+    "serve.telemetry.scrapes",
+    "serve.telemetry.health_checks",
+    "serve.telemetry.errors",
+)
+
+#: Gauge names pre-registered alongside the counters (point-in-time levels).
+DEFAULT_GAUGES: tuple[str, ...] = (
+    "serve.queue_depth",
+    "serve.backpressure",
+    "serve.epoch",
 )
 
 #: Histogram names pre-registered alongside the counters.
@@ -82,23 +103,47 @@ DEFAULT_HISTOGRAMS: tuple[str, ...] = (
     "buffer_tree.records_per_flush",
     "serve.queue_wait_seconds",
     "serve.group_size",
+    "serve.commit_seconds",
+    "serve.release_seconds",
+    "serve.snapshot_swap_seconds",
+    "wal.fsync_seconds",
 )
 
 #: Everything :meth:`MetricsRegistry.enable` declares up front.
-DEFAULT_METRICS: tuple[str, ...] = DEFAULT_COUNTERS + DEFAULT_HISTOGRAMS
+DEFAULT_METRICS: tuple[str, ...] = (
+    DEFAULT_COUNTERS + DEFAULT_GAUGES + DEFAULT_HISTOGRAMS
+)
+
+
+#: Log-bucket resolution: sub-buckets per octave (power of two).  Bucket
+#: ``i`` covers ``(2^((i-1)/8), 2^(i/8)]``; reporting a bucket's geometric
+#: midpoint bounds the relative quantile error at ``2^(1/16) - 1`` (~4.4%).
+_SUBBUCKETS_PER_OCTAVE = 8
+
+_BUCKET_SCALE = _SUBBUCKETS_PER_OCTAVE  # index = ceil(log2(v) * scale)
 
 
 class Histogram:
-    """Streaming value distribution: aggregates plus power-of-two buckets."""
+    """Streaming value distribution: aggregates plus a log-bucket sketch.
 
-    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+    The sketch is HDR-style: values land in logarithmically spaced buckets
+    (8 per octave, so sub-microsecond fsyncs and multi-second stalls share
+    one structure), and :meth:`percentile` walks the cumulative counts to
+    estimate any quantile with ~4% relative error.  Non-positive values
+    are tallied separately (``zeros``) so latency histograms fed exact
+    zeros stay well-defined.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "zeros", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
-        #: bucket exponent -> count; value v lands in bucket ceil(log2(v+1)).
+        #: observations with value <= 0 (kept out of the log buckets).
+        self.zeros = 0
+        #: bucket index -> count; value v lands in ceil(log2(v) * 8).
         self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
@@ -108,12 +153,39 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
-        exponent = max(0, int(value).bit_length() if value >= 1 else 0)
-        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.ceil(math.log2(value) * _BUCKET_SCALE)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the sketch.
+
+        Returns 0.0 for an empty histogram.  The estimate is the geometric
+        midpoint of the bucket holding the requested rank, clamped to the
+        exact observed [min, max] so p0/p100 are always truthful.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = min(max(1, math.ceil(q * self.count)), self.count)
+        if rank == self.count:
+            return self.maximum  # p100 is tracked exactly
+        if rank <= self.zeros:
+            return self.minimum if self.minimum < 0.0 else 0.0
+        remaining = rank - self.zeros
+        for index in sorted(self.buckets):
+            remaining -= self.buckets[index]
+            if remaining <= 0:
+                estimate = 2.0 ** ((index - 0.5) / _BUCKET_SCALE)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -122,11 +194,20 @@ class Histogram:
             "min": self.minimum if self.count else 0,
             "max": self.maximum if self.count else 0,
             "mean": self.mean,
-            "buckets": {
-                f"<=2^{exponent}": count
-                for exponent, count in sorted(self.buckets.items())
-            },
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": self._bucket_labels(),
         }
+
+    def _bucket_labels(self) -> dict[str, int]:
+        labels: dict[str, int] = {}
+        if self.zeros:
+            labels["<=0"] = self.zeros
+        for index, count in sorted(self.buckets.items()):
+            bound = 2.0 ** (index / _BUCKET_SCALE)
+            labels[f"<={bound:.4g}"] = count
+        return labels
 
 
 class _SpanAggregate:
@@ -159,22 +240,25 @@ class _Span:
         self._start = 0.0
 
     def __enter__(self) -> "_Span":
-        stack = self._registry._span_stack
-        stack.append(self._name)
-        self._path = "/".join(stack)
+        registry = self._registry
+        with registry._lock:
+            stack = registry._span_stack
+            stack.append(self._name)
+            self._path = "/".join(stack)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         elapsed = time.perf_counter() - self._start
         registry = self._registry
-        if registry._span_stack and registry._span_stack[-1] == self._name:
-            registry._span_stack.pop()
-        aggregate = registry._spans.get(self._path)
-        if aggregate is None:
-            aggregate = registry._spans[self._path] = _SpanAggregate()
-        aggregate.count += 1
-        aggregate.total += elapsed
+        with registry._lock:
+            if registry._span_stack and registry._span_stack[-1] == self._name:
+                registry._span_stack.pop()
+            aggregate = registry._spans.get(self._path)
+            if aggregate is None:
+                aggregate = registry._spans[self._path] = _SpanAggregate()
+            aggregate.count += 1
+            aggregate.total += elapsed
 
 
 class _NullSpan:
@@ -242,18 +326,34 @@ class MetricsRegistry:
     Instrumented call sites hold a module reference to a registry (usually
     the process-wide :data:`repro.obs.OBS`) and guard every update with
     ``if registry.enabled:`` — the registry's methods assume the guard and
-    do no re-checking of their own.
+    do no re-checking of their own.  Every mutation and read happens under
+    one internal lock, so the serving layer's writer thread, its reader
+    threads, and the live telemetry endpoint can share one registry
+    without tearing counts.
     """
 
-    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_spans", "_span_stack")
+    __slots__ = (
+        "enabled",
+        "_lock",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "_spans",
+        "_span_stack",
+        "_declared",
+        "_tracer",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
+        self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
         self._spans: dict[str, _SpanAggregate] = {}
         self._span_stack: list[str] = []
+        self._declared: set[str] = set()
+        self._tracer: "Tracer | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -263,7 +363,9 @@ class MetricsRegistry:
             self.reset()
         if declare_defaults:
             self.declare(
-                counters=DEFAULT_COUNTERS, histograms=DEFAULT_HISTOGRAMS
+                counters=DEFAULT_COUNTERS,
+                gauges=DEFAULT_GAUGES,
+                histograms=DEFAULT_HISTOGRAMS,
             )
         self.enabled = True
 
@@ -273,11 +375,13 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every collected value (the enable switch is untouched)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
-        self._spans.clear()
-        self._span_stack.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self._span_stack.clear()
+            self._declared.clear()
 
     def declare(
         self,
@@ -285,31 +389,67 @@ class MetricsRegistry:
         gauges: Iterable[str] = (),
         histograms: Iterable[str] = (),
     ) -> None:
-        """Pre-register metric names so they appear in snapshots at zero."""
-        for name in counters:
-            self._counters.setdefault(name, 0)
-        for name in gauges:
-            self._gauges.setdefault(name, 0.0)
-        for name in histograms:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram()
+        """Pre-register metric names so they appear in snapshots at zero.
+
+        Declared names are also remembered, so :meth:`undeclared` can flag
+        typo'd metric names that appeared only at their emit site.
+        """
+        with self._lock:
+            for name in counters:
+                self._counters.setdefault(name, 0)
+                self._declared.add(name)
+            for name in gauges:
+                self._gauges.setdefault(name, 0.0)
+                self._declared.add(name)
+            for name in histograms:
+                if name not in self._histograms:
+                    self._histograms[name] = Histogram()
+                self._declared.add(name)
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Attach the tracer whose drop counts snapshots should surface."""
+        self._tracer = tracer
+
+    def undeclared(self) -> dict[str, list[str]]:
+        """Collected metric names that were never :meth:`declare`-d.
+
+        Returns ``{"counters": [...], "gauges": [...], "histograms": [...]}``
+        — all empty when every emit site spells a declared name.  A name
+        that only exists because ``count()``/``observe()`` created it on
+        first touch is exactly the typo this check catches.
+        """
+        with self._lock:
+            return {
+                "counters": sorted(
+                    name for name in self._counters if name not in self._declared
+                ),
+                "gauges": sorted(
+                    name for name in self._gauges if name not in self._declared
+                ),
+                "histograms": sorted(
+                    name for name in self._histograms if name not in self._declared
+                ),
+            }
 
     # -- updates (call sites must guard with ``if registry.enabled``) --------
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a monotonically increasing counter."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Record a point-in-time level (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Feed one sample into a histogram."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
 
     def span(self, name: str) -> "_Span | _NullSpan":
         """A timing context manager; a shared no-op while disabled."""
@@ -320,34 +460,54 @@ class MetricsRegistry:
     # -- reads ---------------------------------------------------------------
 
     def counter_value(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def gauge_value(self, name: str) -> float:
-        return self._gauges.get(name, 0.0)
+        with self._lock:
+            return self._gauges.get(name, 0.0)
 
     def histogram(self, name: str) -> Histogram | None:
         return self._histograms.get(name)
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-quantile of one histogram (0.0 when it has no data)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.percentile(q) if histogram is not None else 0.0
 
     def snapshot(self, label: str | None = None) -> dict[str, object]:
         """A JSON-serializable copy of everything collected so far.
 
         Every snapshot carries an ``environment`` block (interpreter,
         platform, timestamp, git revision) so trails recorded on different
-        machines remain comparable.
+        machines remain comparable.  When a tracer is attached
+        (:meth:`attach_tracer`) and has recorded events, a ``trace`` block
+        reports its recorded/buffered/dropped counts — a truncated ring
+        buffer is no longer silent.
         """
-        snapshot: dict[str, object] = {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "histograms": {
-                name: histogram.as_dict()
-                for name, histogram in sorted(self._histograms.items())
-            },
-            "spans": {
-                path: aggregate.as_dict()
-                for path, aggregate in sorted(self._spans.items())
-            },
-            "environment": environment_block(),
-        }
+        with self._lock:
+            snapshot: dict[str, object] = {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+                "spans": {
+                    path: aggregate.as_dict()
+                    for path, aggregate in sorted(self._spans.items())
+                },
+                "environment": environment_block(),
+            }
+        tracer = self._tracer
+        if tracer is not None and (tracer.enabled or len(tracer) or tracer.dropped):
+            snapshot["trace"] = {
+                "recorded": tracer.dropped + len(tracer),
+                "buffered": len(tracer),
+                "dropped": tracer.dropped,
+                "capacity": tracer.capacity,
+            }
         if label is not None:
             snapshot["label"] = label
         return snapshot

@@ -27,6 +27,7 @@ on for any experiment with ``--trace out.json``.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from collections import deque
 from pathlib import Path
@@ -272,10 +273,34 @@ class Tracer:
     # -- export --------------------------------------------------------------
 
     def to_chrome(self) -> dict[str, object]:
-        """The buffer as a Chrome/Perfetto ``traceEvents`` document."""
+        """The buffer as a Chrome/Perfetto ``traceEvents`` document.
+
+        When the ring buffer overwrote events, the document leads with a
+        metadata event (``ph`` M) naming the drop count, so a truncated
+        trace announces itself inside every viewer, not just in
+        ``otherData``.
+        """
         events = sorted(self._events, key=lambda event: event.start_us)
+        chrome_events: list[dict[str, object]] = []
+        if self.dropped:
+            chrome_events.append(
+                {
+                    "name": "tracer.dropped",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "__metadata",
+                    "args": {
+                        "dropped": self.dropped,
+                        "recorded": self._recorded,
+                        "capacity": self.capacity,
+                    },
+                }
+            )
+        chrome_events.extend(event.as_chrome() for event in events)
         return {
-            "traceEvents": [event.as_chrome() for event in events],
+            "traceEvents": chrome_events,
             "displayTimeUnit": "ms",
             "otherData": {
                 "recorded": self._recorded,
@@ -288,9 +313,18 @@ class Tracer:
         """Write the ``traceEvents`` JSON to a path or an open stream.
 
         Returns the path written, or None when given a stream.  Open the
-        result in ``chrome://tracing`` or https://ui.perfetto.dev.
+        result in ``chrome://tracing`` or https://ui.perfetto.dev.  A
+        trace whose ring buffer dropped events also warns on stderr — the
+        exported file is the most recent window, not the whole run.
         """
         document = self.to_chrome()
+        if self.dropped:
+            print(
+                f"warning: trace ring buffer dropped {self.dropped} of "
+                f"{self._recorded} events (capacity {self.capacity}); the "
+                "export holds only the most recent window",
+                file=sys.stderr,
+            )
         if hasattr(target, "write"):
             json.dump(document, target)  # type: ignore[arg-type]
             return None

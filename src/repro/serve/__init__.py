@@ -18,9 +18,17 @@ single-writer/multi-reader protocol:
   invalidating cached releases, so a reader can never observe a
   pre-mutation release after its mutation was acknowledged.
 
-See docs/API.md ("Serving") and TUTORIAL §11 for the walkthrough.
+Live telemetry is opt-in: pass a
+:class:`~repro.obs.live.TelemetryConfig` on the :class:`ServiceConfig`
+to expose ``/metrics`` (Prometheus text) and ``/healthz`` (JSON with a
+writer-heartbeat health verdict), and to log slow operations to JSONL.
+``repro top`` renders the endpoint as a refreshing dashboard.
+
+See docs/API.md ("Serving"), docs/OBSERVABILITY.md, and TUTORIAL §11
+for the walkthrough.
 """
 
+from repro.obs.live import TelemetryConfig
 from repro.serve.cache import ReleaseCache, ReleaseSnapshot
 from repro.serve.queue import WriteOp, WriteQueue
 from repro.serve.service import (
@@ -35,6 +43,7 @@ __all__ = [
     "ReleaseSnapshot",
     "ServiceClosedError",
     "ServiceConfig",
+    "TelemetryConfig",
     "WriteOp",
     "WriteQueue",
 ]

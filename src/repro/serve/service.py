@@ -20,13 +20,21 @@ RTreeAnonymizer` into something shaped like a database serving layer:
 Observability: ``serve.cache_hits`` / ``serve.cache_misses`` /
 ``serve.cache_invalidations`` / ``serve.epoch_bumps`` /
 ``serve.write_groups`` / ``serve.queued_writes`` counters, the
-``serve.queue_wait_seconds`` and ``serve.group_size`` histograms, and
-``serve.queue_wait`` / ``serve.commit`` / ``serve.release`` /
-``serve.snapshot_swap`` trace spans.
+``serve.queue_wait_seconds`` / ``serve.group_size`` /
+``serve.commit_seconds`` / ``serve.release_seconds`` /
+``serve.snapshot_swap_seconds`` histograms (p50/p90/p99 via the
+registry's quantile sketch), and ``serve.queue_wait`` / ``serve.commit``
+/ ``serve.release`` / ``serve.snapshot_swap`` trace spans.
+
+Live telemetry (opt-in via :class:`~repro.obs.live.TelemetryConfig` on
+the :class:`ServiceConfig`): a ``/metrics`` + ``/healthz`` HTTP endpoint,
+a writer-heartbeat watchdog feeding :meth:`AnonymizerService.health`, and
+a sampled slow-op JSONL log — see :mod:`repro.obs.live` and ``repro top``.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from concurrent.futures import Future
@@ -41,6 +49,14 @@ from repro.dataset.record import Record
 from repro.dataset.table import Table
 from repro.obs import AUDITOR, OBS, TRACE
 from repro.obs.audit import audit_release
+from repro.obs.live import (
+    HEALTH_CODES,
+    SlowOpLog,
+    TelemetryConfig,
+    TelemetryServer,
+    WriterWatchdog,
+    prometheus_text,
+)
 from repro.serve.cache import CacheKey, ReleaseCache, ReleaseSnapshot
 from repro.serve.queue import INSERT_KINDS, WriteOp, WriteQueue
 
@@ -60,13 +76,17 @@ class ServiceConfig:
     recomputes under the lock).  ``journal`` keeps an in-memory log of
     every applied write group — the differential stress suite replays it
     to prove snapshot isolation — and costs memory proportional to the
-    write history, so leave it off in production use.
+    write history, so leave it off in production use.  ``telemetry``
+    opts into the live layer (:mod:`repro.obs.live`): the ``/metrics`` +
+    ``/healthz`` endpoint, the writer watchdog thresholds, and the
+    slow-op log.
     """
 
     max_queue: int = 1024
     max_batch: int = 256
     cache_releases: bool = True
     journal: bool = False
+    telemetry: TelemetryConfig | None = None
 
 
 class AnonymizerService:
@@ -85,10 +105,35 @@ class AnonymizerService:
         self._queue = WriteQueue(self._config.max_queue)
         self._journal: list[tuple] | None = [] if self._config.journal else None
         self._closed = False
+        telemetry = self._config.telemetry
+        self._watchdog = WriterWatchdog(
+            telemetry.degraded_after if telemetry else 1.0,
+            telemetry.stalled_after if telemetry else 5.0,
+        )
+        #: Ops taken off the queue but not yet applied (writer-side only).
+        self._inflight = 0
+        self._slow_ops: SlowOpLog | None = None
+        self._slow_op_warned = False
+        self._telemetry_server: TelemetryServer | None = None
+        if telemetry is not None and telemetry.slow_op_log is not None:
+            self._slow_ops = SlowOpLog(
+                telemetry.slow_op_log,
+                telemetry.slow_op_threshold,
+                sample_every=telemetry.slow_op_sample,
+                max_spans=telemetry.slow_op_spans,
+            )
         self._writer = threading.Thread(
             target=self._writer_loop, name="repro-serve-writer", daemon=True
         )
         self._writer.start()
+        if telemetry is not None and telemetry.endpoint:
+            self._telemetry_server = TelemetryServer(
+                self.metrics_text,
+                self.health,
+                host=telemetry.host,
+                port=telemetry.port,
+            )
+            self._telemetry_server.start()
 
     # -- introspection -------------------------------------------------------
 
@@ -132,6 +177,77 @@ class AnonymizerService:
 
     def __len__(self) -> int:
         return len(self._engine)
+
+    # -- live telemetry ------------------------------------------------------
+
+    @property
+    def telemetry_address(self) -> tuple[str, int] | None:
+        """The bound (host, port) of the ``/metrics`` endpoint, if started."""
+        if self._telemetry_server is None:
+            return None
+        return self._telemetry_server.address
+
+    @property
+    def telemetry_url(self) -> str | None:
+        if self._telemetry_server is None:
+            return None
+        return self._telemetry_server.url
+
+    @property
+    def slow_op_log(self) -> SlowOpLog | None:
+        return self._slow_ops
+
+    def health(self) -> dict[str, object]:
+        """The live health document served at ``/healthz``.
+
+        ``status`` is the watchdog verdict over the pending work (queued
+        plus in-flight operations): an idle writer is ``healthy`` no
+        matter how long it has slept; a writer that stops beating while
+        work waits degrades, then stalls.
+        """
+        depth = self._queue.depth()
+        pending = depth + self._inflight
+        status = self._watchdog.assess(pending)
+        stats = self._cache.stats
+        requests = stats.hits + stats.misses
+        return {
+            "status": status,
+            "epoch": self._epoch,
+            "queue_depth": depth,
+            "inflight": self._inflight,
+            "queue_capacity": self._queue.maxsize,
+            "backpressure": depth / self._queue.maxsize,
+            "heartbeat_age_s": self._watchdog.age(),
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "invalidations": stats.invalidations,
+                "hit_ratio": stats.hits / requests if requests else 0.0,
+                "entries": len(self._cache),
+            },
+            "closed": self._closed,
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition served at ``/metrics``.
+
+        Registry counters/gauges/histograms (with p50/p90/p99 summary
+        quantiles) plus the service-level live gauges: epoch, queue
+        depth, backpressure, cache hit ratio and the numeric health code
+        (0 healthy, 1 degraded, 2 stalled).
+        """
+        health = self.health()
+        cache: dict[str, object] = health["cache"]  # type: ignore[assignment]
+        extra = {
+            "serve.epoch": float(self._epoch),
+            "serve.queue_depth": float(health["queue_depth"]),  # type: ignore[arg-type]
+            "serve.backpressure": float(health["backpressure"]),  # type: ignore[arg-type]
+            "serve.inflight": float(health["inflight"]),  # type: ignore[arg-type]
+            "serve.cache_hit_ratio": float(cache["hit_ratio"]),  # type: ignore[arg-type]
+            "serve.heartbeat_age_seconds": float(health["heartbeat_age_s"]),  # type: ignore[arg-type]
+            "serve.health": float(HEALTH_CODES[health["status"]]),  # type: ignore[index]
+        }
+        return prometheus_text(OBS.snapshot(), extra)
 
     # -- bulk ingestion (pre-serving; takes the write lock directly) ---------
 
@@ -241,8 +357,10 @@ class AnonymizerService:
         self._assert_open()
         self._queue.put(op, timeout=timeout)
         if OBS.enabled:
+            depth = self._queue.depth()
             OBS.count("serve.queued_writes")
-            OBS.gauge("serve.queue_depth", self._queue.depth())
+            OBS.gauge("serve.queue_depth", depth)
+            OBS.gauge("serve.backpressure", depth / self._queue.maxsize)
 
     # -- read path -----------------------------------------------------------
 
@@ -282,6 +400,7 @@ class AnonymizerService:
                     return snapshot
             if OBS.enabled:
                 OBS.count("serve.cache_misses")
+            release_started = time.perf_counter()
             with TRACE.span(
                 "serve.release", "serve", k=k, strategy=strategy, epoch=epoch
             ):
@@ -289,6 +408,13 @@ class AnonymizerService:
                     k, compacted=compacted, constraint=constraint,
                     strategy=strategy,
                 )
+            release_elapsed = time.perf_counter() - release_started
+            if OBS.enabled:
+                OBS.observe("serve.release_seconds", release_elapsed)
+            self._note_slow(
+                "release", release_elapsed, k=k, strategy=strategy,
+                epoch=epoch,
+            )
             if AUDITOR.enabled and AUDITOR.latest is not None:
                 audit = AUDITOR.latest
             else:
@@ -303,8 +429,14 @@ class AnonymizerService:
                 epoch=epoch,
             )
             if self._config.cache_releases:
+                swap_started = time.perf_counter()
                 with TRACE.span("serve.snapshot_swap", "serve", k=k):
                     self._cache.put(key, snapshot)
+                if OBS.enabled:
+                    OBS.observe(
+                        "serve.snapshot_swap_seconds",
+                        time.perf_counter() - swap_started,
+                    )
             return snapshot
 
     # -- lifecycle -----------------------------------------------------------
@@ -320,6 +452,10 @@ class AnonymizerService:
         self._closed = True
         self._queue.put_stop()
         self._writer.join()
+        if self._telemetry_server is not None:
+            self._telemetry_server.stop()
+        if self._slow_ops is not None:
+            self._slow_ops.close()
         self._engine.close()
 
     def __enter__(self) -> "AnonymizerService":
@@ -335,11 +471,18 @@ class AnonymizerService:
     # -- the writer thread ---------------------------------------------------
 
     def _writer_loop(self) -> None:
+        self._watchdog.beat()
         while True:
             group = self._queue.take_group(self._config.max_batch)
+            self._watchdog.beat()
             if group is None:
                 return
-            self._apply_group(list(group))
+            self._inflight = len(group)
+            try:
+                self._apply_group(list(group))
+            finally:
+                self._inflight = 0
+                self._watchdog.beat()
 
     def _apply_group(self, group: list[WriteOp]) -> None:
         started = time.perf_counter()
@@ -361,6 +504,7 @@ class AnonymizerService:
             return
         error: BaseException | None = None
         result: object = None
+        commit_started = time.perf_counter()
         with self._write_lock:
             with TRACE.span("serve.commit", "serve", ops=len(group)):
                 try:
@@ -375,14 +519,22 @@ class AnonymizerService:
                     self._bump_epoch()
                 else:
                     self._bump_epoch()
-        if OBS.enabled:
-            OBS.count("serve.write_groups")
-            OBS.observe("serve.group_size", len(group))
+        commit_elapsed = time.perf_counter() - commit_started
+        # Acknowledge the writers first: telemetry below must never delay
+        # (or, should it fail, strand) a client blocked on its future.
         for op in group:
             if error is not None:
                 op.future.set_exception(error)
             else:
                 op.future.set_result(result)
+        if OBS.enabled:
+            OBS.count("serve.write_groups")
+            OBS.observe("serve.group_size", len(group))
+            OBS.observe("serve.commit_seconds", commit_elapsed)
+        self._note_slow(
+            "commit", commit_elapsed, kind=first.kind, ops=len(group),
+            epoch=self._epoch,
+        )
 
     def _apply_locked(self, group: list[WriteOp]) -> object:
         first = group[0]
@@ -412,7 +564,27 @@ class AnonymizerService:
         if self._journal is not None:
             self._journal.append(entry)
 
+    def _note_slow(self, op: str, seconds: float, **context: object) -> None:
+        """Feed the slow-op log, never letting telemetry hurt the data path.
+
+        A full disk or closed sink under the log must not kill the writer
+        thread or fail a reader's release — warn once and keep serving.
+        """
+        if self._slow_ops is None:
+            return
+        try:
+            self._slow_ops.record(op, seconds, **context)
+        except Exception as error:
+            if not self._slow_op_warned:
+                self._slow_op_warned = True
+                print(
+                    f"warning: slow-op log failed ({error!r}); "
+                    "further slow operations will not be recorded",
+                    file=sys.stderr,
+                )
+
     def _bump_epoch(self) -> None:
         self._epoch += 1
         if OBS.enabled:
             OBS.count("serve.epoch_bumps")
+            OBS.gauge("serve.epoch", self._epoch)

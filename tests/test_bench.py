@@ -141,11 +141,32 @@ class TestFigureDrivers:
             write_batch=50,
             reads_per_round=5,
             ks=(5, 10),
+            repeats=1,
         )
-        assert [str(row[0]) for row in table.rows] == ["on", "off"]
-        cached, uncached = table.rows
+        assert [str(row[0]) for row in table.rows] == [
+            "on", "off", "on+telemetry",
+        ]
+        cached, uncached, telemetry = table.rows
         assert cached[5] > 0  # the cache actually hit
         assert uncached[5] == 0  # and was actually off
+        assert telemetry[5] > 0  # the telemetry run still serves cached
+        # The overhead delta rides along for the regression trail.
+        assert {
+            "telemetry_off_reads_per_s",
+            "telemetry_on_reads_per_s",
+            "telemetry_overhead",
+        } <= set(table.extras)
+        assert table.extras["telemetry_overhead"] < 1.0
+        # So do the p50/p90/p99 serving-latency sketches (the bench owns
+        # the registry when the caller has not enabled it).
+        for short in ("queue_wait", "commit", "release"):
+            for q in ("p50", "p90", "p99"):
+                assert table.extras[f"{short}_{q}"] >= 0
+        assert table.extras["commit_p99"] > 0
+        assert table.extras["wal_fsync_p99"] == 0  # no durability dir here
+        rendered = table.render()
+        assert "telemetry_overhead" in rendered
+        assert "commit_p99" in rendered
 
 
 class TestCLI:

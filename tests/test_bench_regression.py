@@ -106,6 +106,32 @@ class TestCompare:
         assert not report.ok
         assert report.figures[0].status == "config-mismatch"
 
+    def test_extras_ride_along_but_never_fail_a_comparison(self) -> None:
+        document = run_core_bench(
+            figures=[
+                (
+                    "serve",
+                    {
+                        "records": 400,
+                        "write_rounds": 2,
+                        "write_batch": 20,
+                        "reads_per_round": 3,
+                        "ks": (5,),
+                        "seed": 1,
+                        "repeats": 1,
+                    },
+                )
+            ]
+        )
+        entry = document["figures"]["serve"]
+        assert "telemetry_overhead" in entry["extras"]
+        assert "telemetry_on_reads_per_s" in entry["extras"]
+        # The extras are informational: doctoring them must not trip the
+        # comparison, which only reads config/seconds/counters.
+        doctored = json.loads(json.dumps(document))
+        doctored["figures"]["serve"]["extras"]["telemetry_overhead"] = 99.0
+        assert compare_bench(doctored, document).ok
+
     def test_missing_and_new_figures(self, tiny_bench: dict) -> None:
         empty = {"schema_version": BENCH_SCHEMA_VERSION, "figures": {}}
         missing = compare_bench(empty, tiny_bench)

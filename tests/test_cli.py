@@ -139,3 +139,95 @@ def test_anonymize_without_dir_stays_in_memory(tmp_path, capsys):
     assert code == 0
     assert "durable:" not in output
     assert "digest:" in output
+
+
+# -- live telemetry commands --------------------------------------------------
+
+
+def test_list_mentions_live_telemetry_commands(capsys):
+    code, output = run_cli(capsys, ["list"])
+    assert code == 0
+    assert "serve-demo" in output
+    assert "top" in output
+
+
+def test_top_requires_url(capsys):
+    code = cli.main(["top"])
+    assert code == 2
+    assert "--url" in capsys.readouterr().err
+
+
+def test_serve_demo_serves_metrics_and_logs_slow_ops(tmp_path, capsys):
+    slow_log = tmp_path / "slow.jsonl"
+    code, output = run_cli(
+        capsys,
+        [
+            "serve-demo",
+            "--records",
+            "400",
+            "--k",
+            "5",
+            "--seconds",
+            "0.4",
+            "--port",
+            "0",
+            "--slow-op-log",
+            str(slow_log),
+            "--slow-op-threshold",
+            "0.000001",
+        ],
+    )
+    assert code == 0
+    assert "serving telemetry at http://" in output
+    assert "health=healthy" in output
+    # Every op beats a microsecond threshold, so the log must have entries.
+    assert "slow ops:" in output
+    assert slow_log.exists()
+    first = slow_log.read_text().splitlines()[0]
+    import json
+
+    entry = json.loads(first)
+    assert entry["op"] in {"commit", "release"}
+    assert entry["seconds"] >= entry["threshold"]
+
+
+def test_top_renders_one_frame_from_live_service(small_table, capsys):
+    from repro import api, obs
+
+    obs.enable()
+    service = api.serve(
+        small_table.schema,
+        service_config=api.ServiceConfig(
+            telemetry=api.TelemetryConfig(endpoint=True)
+        ),
+    )
+    try:
+        service.insert_batch(list(small_table.records))
+        service.release(k=5)
+        code = cli.main(
+            [
+                "top",
+                "--url",
+                service.telemetry_url,
+                "--count",
+                "1",
+                "--no-clear",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "service health: healthy" in output
+        assert "latency" in output or "p50" in output
+    finally:
+        service.close()
+        obs.disable()
+        obs.reset()
+
+
+def test_top_reports_unreachable_endpoint(capsys):
+    # Nothing listens on this port: the scrape must fail fast with rc 1.
+    code = cli.main(
+        ["top", "--url", "http://127.0.0.1:9", "--count", "1", "--no-clear"]
+    )
+    assert code == 1
+    assert "cannot scrape" in capsys.readouterr().err

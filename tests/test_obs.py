@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -139,6 +140,219 @@ class TestRegistry:
         stream = io.StringIO()
         TableSink(stream).emit(snapshot)
         assert render_snapshot(snapshot) + "\n" == stream.getvalue()
+
+
+class TestQuantileSketch:
+    def test_percentiles_of_known_distribution(self) -> None:
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100, uniform
+            histogram.observe(float(value))
+        # The log-bucket sketch promises ~4.4% relative error.
+        assert histogram.percentile(0.5) == pytest.approx(50, rel=0.05)
+        assert histogram.percentile(0.9) == pytest.approx(90, rel=0.05)
+        assert histogram.percentile(0.99) == pytest.approx(99, rel=0.05)
+        # Extremes clamp to the exactly tracked min/max.
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_sub_second_latencies_resolve(self) -> None:
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram()
+        for value in (0.0001, 0.001, 0.01, 0.1):
+            histogram.observe(value)
+        assert histogram.percentile(0.25) == pytest.approx(0.0001, rel=0.05)
+        assert histogram.percentile(1.0) == pytest.approx(0.1)
+
+    def test_empty_histogram_is_zero(self) -> None:
+        from repro.obs.registry import Histogram
+
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_zeros_are_tallied_not_bucketed(self) -> None:
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(0.0)
+        histogram.observe(8.0)
+        assert histogram.zeros == 2
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(1.0) == 8.0
+
+    def test_rejects_out_of_range_quantile(self) -> None:
+        from repro.obs.registry import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_as_dict_carries_percentiles_and_buckets(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        for value in (1.0, 2.0, 4.0):
+            registry.observe("h", value)
+        h = registry.snapshot()["histograms"]["h"]
+        assert {"p50", "p90", "p99"} <= h.keys()
+        assert sum(h["buckets"].values()) == 3
+
+    def test_registry_percentile_shortcut(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.observe("h", 4.0)
+        assert registry.percentile("h", 0.5) == pytest.approx(4.0, rel=0.05)
+        assert registry.percentile("missing", 0.5) == 0.0
+
+
+class TestDeclaredMetrics:
+    def test_enable_declares_gauges_and_histograms_too(self) -> None:
+        from repro.obs import DEFAULT_GAUGES
+        from repro.obs.registry import DEFAULT_HISTOGRAMS
+
+        registry = MetricsRegistry()
+        registry.enable()
+        snapshot = registry.snapshot()
+        for name in DEFAULT_GAUGES:
+            assert snapshot["gauges"][name] == 0.0
+        for name in DEFAULT_HISTOGRAMS:
+            assert snapshot["histograms"][name]["count"] == 0
+
+    def test_undeclared_flags_typo_names(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("serve.cache_hits")  # declared: fine
+        registry.count("serve.cache_hist")  # the typo this check exists for
+        registry.gauge("serve.queue_dpeth", 1)
+        registry.observe("serve.commit_secs", 0.1)
+        assert registry.undeclared() == {
+            "counters": ["serve.cache_hist"],
+            "gauges": ["serve.queue_dpeth"],
+            "histograms": ["serve.commit_secs"],
+        }
+
+    def test_reset_clears_declarations(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.reset()
+        registry.count("serve.cache_hits")
+        assert registry.undeclared()["counters"] == ["serve.cache_hits"]
+
+
+@pytest.mark.stress
+class TestRegistryThreadSafety:
+    def test_concurrent_counts_are_exact(self) -> None:
+        """8 threads hammer one registry; nothing may tear or be lost."""
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        threads, per_thread = 8, 5_000
+        start = threading.Barrier(threads)
+
+        def hammer(index: int) -> None:
+            start.wait()
+            for step in range(per_thread):
+                registry.count("shared")
+                registry.count(f"own.{index}")
+                registry.observe("latency", float(step % 7) + 0.5)
+                registry.gauge("level", float(index))
+                if step % 100 == 0:
+                    registry.snapshot()  # concurrent reads must not tear
+
+        workers = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.counter_value("shared") == threads * per_thread
+        for index in range(threads):
+            assert registry.counter_value(f"own.{index}") == per_thread
+        histogram = registry.histogram("latency")
+        assert histogram is not None
+        assert histogram.count == threads * per_thread
+        assert sum(histogram.buckets.values()) == threads * per_thread
+
+    def test_concurrent_spans_keep_consistent_aggregates(self) -> None:
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        threads, per_thread = 8, 500
+
+        def spin() -> None:
+            for _ in range(per_thread):
+                with registry.span("outer"):
+                    with registry.span("inner"):
+                        pass
+
+        workers = [threading.Thread(target=spin) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        spans = registry.snapshot()["spans"]
+        total = threads * per_thread
+        # Interleaved stacks may produce mixed paths, but no event is lost:
+        # every outer and inner exit lands in exactly one path aggregate.
+        assert sum(a["count"] for p, a in spans.items() if p.split("/")[-1] == "outer") == total
+        assert sum(a["count"] for p, a in spans.items() if p.split("/")[-1] == "inner") == total
+
+
+class TestRenderEdgeCases:
+    def test_empty_snapshot_renders_placeholder(self) -> None:
+        from repro.obs.render import render_snapshot
+
+        assert render_snapshot({}) == "(no metrics collected)"
+        assert render_snapshot({"label": "x"}) == "(no metrics collected)"
+
+    def test_zero_count_histogram_renders_zero_min_max(self) -> None:
+        from repro.obs.render import render_snapshot
+
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.declare(histograms=("empty.hist",))
+        rendering = render_snapshot(registry.snapshot())
+        assert "empty.hist" in rendering
+        assert "min=0" in rendering and "max=0" in rendering
+        assert "inf" not in rendering
+
+    def test_histogram_row_without_percentiles_still_renders(self) -> None:
+        # Snapshots stored before the quantile sketch lack p50/p90/p99.
+        from repro.obs.render import render_snapshot
+
+        old = {
+            "histograms": {
+                "h": {"count": 1, "mean": 2.0, "min": 2.0, "max": 2.0}
+            }
+        }
+        rendering = render_snapshot(old)
+        assert "count=1" in rendering
+        assert "p50" not in rendering
+
+    def test_display_width_counts_east_asian_wide_as_two(self) -> None:
+        from repro.obs.render import display_width
+
+        assert display_width("abc") == 3
+        assert display_width("データ") == 6
+        assert display_width("é") == 1  # combining accent is zero-width
+
+    def test_unicode_names_align_by_display_width(self) -> None:
+        from repro.obs.render import display_width, render_snapshot
+
+        registry = MetricsRegistry()
+        registry.enable(declare_defaults=False)
+        registry.count("データセット.rows", 1)
+        registry.count("plain.rows", 2)
+        lines = render_snapshot(registry.snapshot()).splitlines()
+        start = lines.index("== counters ==") + 1
+        rows = lines[start : start + 2]
+        # The value column starts at the same *terminal cell* in each row,
+        # even though the wide-character name has fewer codepoints.
+        prefix_cells = {
+            display_width(row[: len(row) - len(row.split()[-1])])
+            for row in rows
+        }
+        assert len(prefix_cells) == 1
 
 
 class TestSinks:

@@ -139,6 +139,83 @@ class TestChromeExport:
         assert any("not an object" in problem for problem in problems)
 
 
+class TestDropSurfacing:
+    def test_truncated_trace_leads_with_metadata_event(self) -> None:
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        for index in range(10):
+            tracer.instant(f"event-{index}")
+        document = tracer.to_chrome()
+        assert validate_chrome_trace(document) == []
+        first = document["traceEvents"][0]
+        assert first["ph"] == "M"
+        assert first["name"] == "tracer.dropped"
+        assert first["args"] == {"dropped": 6, "recorded": 10, "capacity": 4}
+
+    def test_untruncated_trace_has_no_metadata_event(self) -> None:
+        tracer = Tracer(capacity=16)
+        tracer.enable()
+        tracer.instant("only")
+        phases = {event["ph"] for event in tracer.to_chrome()["traceEvents"]}
+        assert "M" not in phases
+
+    def test_export_warns_on_stderr_when_dropped(self, tmp_path, capsys) -> None:
+        tracer = Tracer(capacity=2)
+        tracer.enable()
+        for index in range(5):
+            tracer.instant(f"event-{index}")
+        tracer.export_chrome(tmp_path / "trace.json")
+        error_output = capsys.readouterr().err
+        assert "dropped 3 of 5 events" in error_output
+        assert "most recent window" in error_output
+
+    def test_export_is_silent_without_drops(self, tmp_path, capsys) -> None:
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("only")
+        tracer.export_chrome(tmp_path / "trace.json")
+        assert capsys.readouterr().err == ""
+
+    def test_snapshot_surfaces_attached_tracer_drops(self) -> None:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=4)
+        registry.attach_tracer(tracer)
+        assert "trace" not in registry.snapshot()  # idle tracer: no block
+        tracer.enable()
+        for index in range(10):
+            tracer.instant(f"event-{index}")
+        trace_block = registry.snapshot()["trace"]
+        assert trace_block == {
+            "recorded": 10,
+            "buffered": 4,
+            "dropped": 6,
+            "capacity": 4,
+        }
+
+    def test_global_snapshot_and_stats_render_trace_block(self) -> None:
+        from repro.obs.trace import DEFAULT_CAPACITY
+
+        # The process-wide OBS has TRACE attached at import time.
+        obs.enable()
+        TRACE.enable(capacity=4)
+        try:
+            for index in range(9):
+                TRACE.instant(f"event-{index}")
+            snapshot = obs.snapshot()
+            assert snapshot["trace"]["dropped"] == 5
+            rendering = obs.render_table()
+            assert "== trace ==" in rendering
+            assert "dropped" in rendering
+        finally:
+            TRACE.enable(capacity=DEFAULT_CAPACITY)  # restore the ring size
+            TRACE.disable()
+            TRACE.reset()
+            obs.disable()
+            obs.reset()
+
+
 class TestInstrumentedPaths:
     def test_bulk_load_traces_flushes_and_splits(self, schema3) -> None:
         table = Table(schema3, random_records(1_500, seed=7))

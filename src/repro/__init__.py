@@ -56,6 +56,12 @@ from repro.index.split import (
     MinMarginSplitPolicy,
     WeightedSplitPolicy,
 )
+from repro.kernels import (
+    RecordBatch,
+    kernels_enabled,
+    scoped_kernels,
+    set_kernels_enabled,
+)
 from repro.metrics.certainty import certainty_penalty
 from repro.metrics.discernibility import discernibility_penalty
 from repro.metrics.kl import kl_divergence
@@ -95,6 +101,7 @@ __all__ = [
     "RPlusTree",
     "RTreeAnonymizer",
     "Record",
+    "RecordBatch",
     "RecoveryError",
     "ReleaseRegistry",
     "ReleaseRejected",
@@ -117,6 +124,7 @@ __all__ = [
     "hierarchical_release",
     "intersection_attack",
     "is_k_anonymous",
+    "kernels_enabled",
     "kl_divergence",
     "leaf_scan",
     "linkage_attack",
@@ -127,6 +135,8 @@ __all__ = [
     "quality_report",
     "random_range_workload",
     "read_release_csv",
+    "scoped_kernels",
+    "set_kernels_enabled",
     "single_attribute_workload",
     "verify_k_bound",
     "verify_release",

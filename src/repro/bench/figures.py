@@ -175,6 +175,153 @@ def fig7a_parallel(
     return result
 
 
+def fig7a_kernels(
+    records: int = 1_000_000,
+    scalar_sample: int = 50_000,
+    dimensions: int = 4,
+    bits: int = 10,
+    batch_size: int = 8_192,
+    seed: int = 1,
+) -> BenchTable:
+    """Figure 7(a) companion: columnar kernels vs the scalar hot paths.
+
+    Measures the three per-record costs the bulk loader pays on every
+    ingested record — encode to the on-disk format, decode pages back, and
+    Hilbert keying — in both modes: the kernel runs the *whole* workload
+    (one million records by default) while the scalar oracle runs a
+    ``scalar_sample``-record slice of the same data, so the figure stays
+    CI-sized without shrinking the vectorized side.  Speedups compare
+    per-record cost, and the ``match`` column cross-checks the two modes'
+    outputs on the shared slice — the kernels' bit-identity contract in
+    bench form.
+    """
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro import obs
+    from repro.dataset.io import RecordFileReader, RecordFileWriter
+    from repro.index.hilbert import hilbert_key, quantize
+    from repro.kernels.hilbert import hilbert_keys_for_points
+
+    rng = np.random.default_rng(seed)
+    top = (1 << bits) - 1
+    points = rng.integers(0, top + 1, size=(records, dimensions)).astype(
+        np.float64
+    )
+    lows = [0.0] * dimensions
+    highs = [float(top)] * dimensions
+    sample = min(scalar_sample, records)
+
+    result = BenchTable(
+        f"Figure 7(a) companion: columnar kernels vs scalar oracles, "
+        f"{records:,} records x {dimensions} dims ({bits}-bit grid; scalar "
+        f"side runs a {sample:,}-record slice)",
+        [
+            "stage",
+            "kernel records",
+            "kernel (s)",
+            "scalar records",
+            "scalar (s)",
+            "speedup",
+            "match",
+        ],
+    )
+
+    def per_record_speedup(
+        kernel_seconds: float, scalar_seconds: float
+    ) -> float:
+        kernel_cost = max(kernel_seconds, 1e-9) / records
+        scalar_cost = max(scalar_seconds, 1e-9) / sample
+        return scalar_cost / kernel_cost
+
+    with tempfile.TemporaryDirectory() as staging:
+        path = Path(staging) / "kernels.records"
+        control = Path(staging) / "control.records"
+        with Timer() as encode_kernel:
+            with RecordFileWriter(path, dimensions) as writer:
+                for begin in range(0, records, batch_size):
+                    writer.write_batch(points[begin : begin + batch_size])
+        with Timer() as encode_scalar:
+            with RecordFileWriter(control, dimensions) as writer:
+                for row in points[:sample].tolist():
+                    writer.write_point(row)
+        from repro.dataset.io import _HEADER
+
+        record_bytes = RecordFileReader(path).record_bytes
+        # The headers differ (record counts), so compare payload slices.
+        begin, end = _HEADER.size, _HEADER.size + sample * record_bytes
+        encode_match = (
+            path.read_bytes()[begin:end] == control.read_bytes()[begin:end]
+        )
+        result.add(
+            "encode",
+            records,
+            encode_kernel.elapsed,
+            sample,
+            encode_scalar.elapsed,
+            per_record_speedup(encode_kernel.elapsed, encode_scalar.elapsed),
+            "yes" if encode_match else "NO",
+        )
+
+        reader = RecordFileReader(path)
+        with Timer() as decode_kernel:
+            pages: list[np.ndarray] = []
+            for _, page in reader.iter_point_batches(batch_size):
+                pages.append(page)
+        if obs.OBS.enabled:
+            obs.OBS.count("kernels.decoded_pages", len(pages))
+            obs.OBS.count("kernels.decoded_records", records)
+        with Timer() as decode_scalar:
+            scalar_rows = list(reader.iter_points(batch_size, count=sample))
+        decoded = np.concatenate(pages) if len(pages) > 1 else pages[0]
+        decode_match = [
+            tuple(row) for row in decoded[:sample].tolist()
+        ] == scalar_rows
+        result.add(
+            "decode",
+            records,
+            decode_kernel.elapsed,
+            sample,
+            decode_scalar.elapsed,
+            per_record_speedup(decode_kernel.elapsed, decode_scalar.elapsed),
+            "yes" if decode_match else "NO",
+        )
+
+        with Timer() as key_kernel:
+            keys = hilbert_keys_for_points(decoded, lows, highs, bits)
+        if obs.OBS.enabled:
+            obs.OBS.count("kernels.keyed_records", records)
+        with Timer() as key_scalar:
+            scalar_keys = [
+                hilbert_key(quantize(row, lows, highs, bits), bits)
+                for row in scalar_rows
+            ]
+        result.add(
+            "hilbert keying",
+            records,
+            key_kernel.elapsed,
+            sample,
+            key_scalar.elapsed,
+            per_record_speedup(key_kernel.elapsed, key_scalar.elapsed),
+            "yes" if keys[:sample].tolist() == scalar_keys else "NO",
+        )
+
+    result.extras = {
+        "encode_speedup": per_record_speedup(
+            encode_kernel.elapsed, encode_scalar.elapsed
+        ),
+        "decode_speedup": per_record_speedup(
+            decode_kernel.elapsed, decode_scalar.elapsed
+        ),
+        "keying_speedup": per_record_speedup(
+            key_kernel.elapsed, key_scalar.elapsed
+        ),
+    }
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Figure 7(b): incremental anonymization time per batch
 # ---------------------------------------------------------------------------
@@ -1171,6 +1318,7 @@ def serve_bench(
 DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "fig7a": fig7a_bulk_times,
     "fig7a_parallel": fig7a_parallel,
+    "fig7a_kernels": fig7a_kernels,
     "fig7b": fig7b_incremental_times,
     "fig8a": fig8a_scaling,
     "fig8b": fig8b_io_costs,

@@ -57,6 +57,10 @@ KEY_COUNTERS: tuple[str, ...] = (
     "page.writes",
     "anonymizer.releases",
     "anonymizer.partitions",
+    "kernels.keyed_records",
+    "kernels.decoded_pages",
+    "kernels.decoded_records",
+    "kernels.group_mbrs",
     "parallel.shards",
     "parallel.shard_records",
     "wal.appends",
@@ -85,6 +89,13 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
         return [
             ("fig7a", {"records": 4_000, "ks": (5, 25, 100), "seed": 1}),
             ("fig7a_parallel", {"records": 4_000, "workers": (1, 2), "seed": 1}),
+            (
+                "fig7a_kernels",
+                # The kernel side keeps the full million records even in
+                # quick mode (it is the point of the figure and costs only
+                # seconds); the scalar oracle slice shrinks instead.
+                {"records": 1_000_000, "scalar_sample": 20_000, "seed": 1},
+            ),
             ("fig8a", {"sizes": (2_000, 4_000), "k": 10, "seed": 3}),
             ("fig8b", {"records": 4_000, "k": 10, "seed": 3}),
             ("fig10", {"records": 4_000, "ks": (10,), "seed": 1}),
@@ -108,6 +119,10 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
         ("fig7a_parallel", {"records": 20_000, "workers": (1, 2, 4), "seed": 1}),
+        (
+            "fig7a_kernels",
+            {"records": 1_000_000, "scalar_sample": 100_000, "seed": 1},
+        ),
         ("fig8a", {"sizes": (10_000, 20_000), "k": 10, "seed": 3}),
         ("fig8b", {"records": 20_000, "k": 10, "seed": 3}),
         ("fig10", {"records": 20_000, "ks": (10, 50), "seed": 1}),

@@ -143,6 +143,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     shared.add_argument(
+        "--no-kernels",
+        dest="no_kernels",
+        action="store_true",
+        help=(
+            "disable the numpy columnar kernels and run the scalar oracle "
+            "paths instead (output is bit-identical; kernels are only "
+            "faster — this switch exists for the differential CI jobs)"
+        ),
+    )
+    shared.add_argument(
         "--dataset",
         choices=("landsend", "census", "agrawal"),
         default="landsend",
@@ -261,6 +271,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
+    if getattr(arguments, "no_kernels", False):
+        from repro.kernels.config import set_kernels_enabled
+
+        set_kernels_enabled(False)
     name = arguments.experiment.lower()
     if name == "list":
         print("Available experiments:")

@@ -45,6 +45,28 @@ from repro.storage.buffer_pool import BufferPool
 DEFAULT_BASE_K = 5
 
 
+def _kernel_record_stream(
+    reader, batch_size: int, first_rid: int  # noqa: ANN001 - RecordFileReader
+) -> Iterable[Record]:
+    """File-order record stream via the columnar page decoder.
+
+    Yields exactly the records of ``reader.iter_records`` — same rids
+    (file position + ``first_rid``), same float points (int32 → float64 is
+    exact either way) — but pages are decoded with one ``frombuffer`` each
+    instead of per-record ``struct`` unpacking.
+    """
+    from repro.obs import OBS as _OBS
+
+    for position, points in reader.iter_point_batches(batch_size):
+        if _OBS.enabled:
+            _OBS.count("kernels.decoded_pages")
+            _OBS.count("kernels.decoded_records", points.shape[0])
+        rid = first_rid + position
+        for row in points.tolist():
+            yield Record(rid, tuple(row))
+            rid += 1
+
+
 class RTreeAnonymizer:
     """Scalable, incremental k-anonymization via a spatial index."""
 
@@ -176,6 +198,7 @@ class RTreeAnonymizer:
         batch_size: int = 8_192,
         first_rid: int = 0,
         workers: int | None = None,
+        use_kernels: bool | None = None,
     ) -> int:
         """Bulk-anonymize straight from a binary record file (§5.2).
 
@@ -211,9 +234,14 @@ class RTreeAnonymizer:
             workers=workers or 0,
         ):
             if workers is None:
-                stream: Iterable[Record] = reader.iter_records(
-                    batch_size, first_rid=first_rid
-                )
+                from repro.kernels.config import kernels_enabled
+
+                if kernels_enabled(use_kernels):
+                    stream: Iterable[Record] = _kernel_record_stream(
+                        reader, batch_size, first_rid
+                    )
+                else:
+                    stream = reader.iter_records(batch_size, first_rid=first_rid)
             else:
                 from repro.parallel import scan_file_shards, shard_record_stream
 
@@ -224,6 +252,7 @@ class RTreeAnonymizer:
                     workers=workers,
                     batch_size=batch_size,
                     first_rid=first_rid,
+                    use_kernels=use_kernels,
                 )
                 stream = shard_record_stream(scan.runs)
             if self._durability is None:
@@ -317,6 +346,7 @@ class RTreeAnonymizer:
         compacted: bool = True,
         constraint: Constraint | None = None,
         strategy: str = "subtree",
+        use_kernels: bool | None = None,
     ) -> AnonymizedTable:
         """Emit a k-anonymous release at granularity ``k`` (leaf scan, §3.2).
 
@@ -352,7 +382,9 @@ class RTreeAnonymizer:
         with OBS.span("anonymizer.anonymize"), TRACE.span(
             "anonymizer.release", "anonymizer", k=k, strategy=strategy
         ):
-            return self._emit_release(k, compacted, constraint, strategy)
+            return self._emit_release(
+                k, compacted, constraint, strategy, use_kernels
+            )
 
     def _emit_release(
         self,
@@ -360,7 +392,10 @@ class RTreeAnonymizer:
         compacted: bool,
         constraint: Constraint | None,
         strategy: str,
+        use_kernels: bool | None = None,
     ) -> AnonymizedTable:
+        from repro.kernels.config import kernels_enabled
+
         leaves = self._tree.leaves()
         if strategy == "subtree":
             groups = subtree_scan(self._tree, k, constraint)
@@ -369,12 +404,38 @@ class RTreeAnonymizer:
         else:
             raise ValueError(f"unknown grouping strategy {strategy!r}")
         if compacted:
-            partitions = [
-                Partition.trusted(
-                    tuple(group), Box.from_points(r.point for r in group)
+            if kernels_enabled(use_kernels) and groups:
+                # One reduceat pair over all groups' points replaces the
+                # per-group per-record Python MBR folds; the resulting
+                # boxes are bit-identical on integer-coded data (see
+                # repro.kernels.boxes on signed zeros).
+                import numpy as np
+
+                from repro.kernels.boxes import group_mbrs
+
+                starts: list[int] = []
+                offset = 0
+                for group in groups:
+                    starts.append(offset)
+                    offset += len(group)
+                flat = np.array(
+                    [r.point for group in groups for r in group],
+                    dtype=np.float64,
                 )
-                for group in groups
-            ]
+                boxes = group_mbrs(flat, starts)
+                if OBS.enabled:
+                    OBS.count("kernels.group_mbrs", len(boxes))
+                partitions = [
+                    Partition.trusted(tuple(group), box)
+                    for group, box in zip(groups, boxes)
+                ]
+            else:
+                partitions = [
+                    Partition.trusted(
+                        tuple(group), Box.from_points(r.point for r in group)
+                    )
+                    for group in groups
+                ]
         else:
             regions = self.leaf_regions()
             partitions = []

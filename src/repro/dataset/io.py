@@ -59,6 +59,30 @@ class RecordFileWriter:
             written += 1
         return written
 
+    def write_batch(self, points) -> int:  # noqa: ANN001 - ndarray or rows
+        """Append an ``(N, dims)`` page in one buffer write.
+
+        The vectorized twin of a :meth:`write_point` loop — byte-identical
+        output (``np.rint`` rounds half-to-even exactly like ``round``),
+        one ``tobytes`` per page instead of one ``struct.pack`` per record.
+        Returns how many records were written.
+        """
+        import numpy as np
+
+        from repro.kernels.codec import encode_points
+
+        rows = np.ascontiguousarray(points, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self._dimensions:
+            raise ValueError(
+                f"batch of shape {rows.shape} does not match the file's "
+                f"{self._dimensions}-dimensional records"
+            )
+        encoded = encode_points(rows)
+        if encoded:
+            self._handle.write(encoded)
+        self._count += rows.shape[0]
+        return rows.shape[0]
+
     def close(self) -> None:
         """Backpatch the record count and close the file."""
         if self._handle.closed:
@@ -159,6 +183,53 @@ class RecordFileReader:
                     )
                 for values in self._record_struct.iter_unpack(chunk):
                     yield tuple(float(v) for v in values)
+                remaining -= want
+                position += want
+
+    def iter_point_batches(
+        self,
+        batch_size: int = 8192,
+        start: int = 0,
+        count: int | None = None,
+    ) -> "Iterator[tuple[int, object]]":
+        """Yield ``(position, (n, dims) float64 array)`` pages.
+
+        The columnar twin of :meth:`iter_points`: each page is decoded with
+        one ``frombuffer`` instead of per-record ``struct`` calls, and the
+        decoded rows equal the scalar tuples exactly (int32 → float64 is
+        exact).  ``position`` is the file-record index of the page's first
+        row, so callers can assign the same file-position rids either way.
+        Short reads fail with the scalar path's exact message.
+        """
+        from repro.kernels.codec import decode_points
+
+        if start < 0 or start > self._count:
+            raise ValueError(
+                f"start {start} outside the file's {self._count} records"
+            )
+        remaining = self._count - start if count is None else count
+        if remaining < 0 or start + remaining > self._count:
+            raise ValueError(
+                f"slice [{start}, {start + remaining}) outside the file's "
+                f"{self._count} records"
+            )
+        record_bytes = self._record_struct.size
+        position = start
+        with open(self._path, "rb") as handle:
+            handle.seek(_HEADER.size + start * record_bytes)
+            reader = io.BufferedReader(handle, buffer_size=batch_size * record_bytes)
+            while remaining > 0:
+                want = min(remaining, batch_size)
+                chunk = reader.read(want * record_bytes)
+                whole = len(chunk) // record_bytes
+                if len(chunk) % record_bytes or whole < want:
+                    raise ValueError(
+                        f"{self._path}: short read at byte offset "
+                        f"{_HEADER.size + (position + whole) * record_bytes} "
+                        f"(record {position + whole}): wanted {want} records, "
+                        f"file ended after {whole}"
+                    )
+                yield position, decode_points(chunk, self._dimensions)
                 remaining -= want
                 position += want
 

@@ -28,7 +28,8 @@ from repro.index.buffer_tree import BufferTreeLoader
 from repro.index.hilbert import hilbert_key, quantize
 from repro.index.rtree import RPlusTree
 from repro.index.split import best_threshold
-from repro.obs import TRACE
+from repro.kernels.config import kernels_enabled
+from repro.obs import OBS, TRACE
 
 #: Grid resolution for Hilbert quantization.
 DEFAULT_HILBERT_BITS = 10
@@ -39,9 +40,29 @@ def hilbert_sorted(
     lows: Sequence[float],
     highs: Sequence[float],
     bits: int = DEFAULT_HILBERT_BITS,
+    use_kernels: bool | None = None,
 ) -> list[Record]:
-    """Records sorted by their Hilbert key over the given domain box."""
+    """Records sorted by their Hilbert key over the given domain box.
+
+    With kernels on (the default), keys come from the batch Hilbert kernel
+    and ordering falls to one stable index sort over Python-int keys — the
+    same keys and the same tie order as the scalar ``sorted(key=...)``
+    path, which stays available as the differential oracle.
+    """
     with TRACE.span("bulk.hilbert_sort", "bulk", records=len(records)):
+        if kernels_enabled(use_kernels) and len(records) > 1:
+            import numpy as np
+
+            from repro.kernels.hilbert import hilbert_keys_for_points
+
+            points = np.array(
+                [record.point for record in records], dtype=np.float64
+            )
+            keys = hilbert_keys_for_points(points, lows, highs, bits).tolist()
+            if OBS.enabled:
+                OBS.count("kernels.keyed_records", len(keys))
+            order = sorted(range(len(records)), key=keys.__getitem__)
+            return [records[index] for index in order]
         return sorted(
             records,
             key=lambda record: hilbert_key(
@@ -56,6 +77,7 @@ def hilbert_partitions(
     highs: Sequence[float],
     k: int,
     bits: int = DEFAULT_HILBERT_BITS,
+    use_kernels: bool | None = None,
 ) -> list[list[Record]]:
     """Consecutive groups of ~2k records along the Hilbert curve.
 
@@ -63,7 +85,7 @@ def hilbert_partitions(
     into the last full group), so the grouping is k-anonymous.  Raises
     ``ValueError`` when the input holds fewer than ``k`` records in total.
     """
-    ordered = hilbert_sorted(records, lows, highs, bits)
+    ordered = hilbert_sorted(records, lows, highs, bits, use_kernels)
     return chunk_with_floor(ordered, k)
 
 
@@ -117,11 +139,12 @@ def hilbert_bulk_load(
     highs: Sequence[float],
     k: int,
     bits: int = DEFAULT_HILBERT_BITS,
+    use_kernels: bool | None = None,
     **tree_kwargs: object,
 ) -> RPlusTree:
     """Build an R+-tree by buffer-loading the Hilbert-sorted stream."""
     with TRACE.span("bulk.hilbert_load", "bulk", records=len(records)):
-        ordered = hilbert_sorted(records, lows, highs, bits)
+        ordered = hilbert_sorted(records, lows, highs, bits, use_kernels)
         tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
         BufferTreeLoader(tree).load(ordered, charge_input=False)
         return tree

@@ -1,0 +1,94 @@
+"""``RecordBatch``: the columnar unit the kernels operate on.
+
+A batch is an ``(N, dims)`` float64 point matrix plus a parallel rid
+vector.  It is a *transport* type: the scan and load paths decode pages
+straight into batches, run the keying/MBR kernels on the matrix, and only
+materialize per-row :class:`repro.dataset.record.Record` objects at the
+boundary where the tree (which stores records) takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.dataset.record import Record
+from repro.geometry.box import Box
+
+from repro.kernels.boxes import mbr_of_points
+from repro.kernels.hilbert import hilbert_keys_for_points
+
+
+@dataclass(frozen=True)
+class RecordBatch:
+    """A column-oriented slab of records: points ``(N, dims)``, rids ``(N,)``."""
+
+    points: np.ndarray
+    rids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.points.ndim != 2:
+            raise ValueError(
+                f"points must be (N, dims), got shape {self.points.shape}"
+            )
+        if self.rids.shape != (self.points.shape[0],):
+            raise ValueError(
+                f"{self.rids.shape[0] if self.rids.ndim == 1 else self.rids.shape} "
+                f"rids for {self.points.shape[0]} points"
+            )
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "RecordBatch":
+        """Column-ize in-memory records (an empty batch has 0 dimensions)."""
+        if not records:
+            return cls(
+                np.empty((0, 0), dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        points = np.array([record.point for record in records], dtype=np.float64)
+        rids = np.array([record.rid for record in records], dtype=np.int64)
+        return cls(points, rids)
+
+    @classmethod
+    def from_points(
+        cls, points: np.ndarray, first_rid: int = 0
+    ) -> "RecordBatch":
+        """Wrap a decoded page with file-position rids starting at ``first_rid``."""
+        count = points.shape[0]
+        return cls(
+            np.ascontiguousarray(points, dtype=np.float64),
+            np.arange(first_rid, first_rid + count, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self.points.shape[1]
+
+    def to_records(self) -> list[Record]:
+        """Materialize per-row records — the boundary back to the tree."""
+        return [
+            Record(rid, tuple(point))
+            for rid, point in zip(self.rids.tolist(), self.points.tolist())
+        ]
+
+    def iter_records(self) -> Iterable[Record]:
+        for rid, point in zip(self.rids.tolist(), self.points.tolist()):
+            yield Record(rid, tuple(point))
+
+    def mbr(self) -> Box:
+        """Minimum bounding box of the batch (raises on an empty batch)."""
+        return mbr_of_points(self.points)
+
+    def hilbert_keys(
+        self,
+        lows: Sequence[float],
+        highs: Sequence[float],
+        bits: int,
+    ) -> np.ndarray:
+        """Quantized Hilbert keys of every row, via the batch kernels."""
+        return hilbert_keys_for_points(self.points, lows, highs, bits)

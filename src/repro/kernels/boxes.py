@@ -1,0 +1,177 @@
+"""Batch MBR arithmetic over ``(N, 2 * dims)`` box arrays.
+
+The columnar box layout is ``[lows | highs]``: row ``i`` holds box ``i``'s
+``dims`` low coordinates followed by its ``dims`` high coordinates.  The
+scalar oracle is :mod:`repro.geometry.box`; every kernel here is proven
+element-wise equal to the corresponding ``Box`` fold by the property
+suite.
+
+Bit-identity notes:
+
+* ``volumes`` and ``margins`` reduce along the dimension axis, which for
+  the quasi-identifier counts in play (<= 9) numpy evaluates strictly
+  left-to-right — the same association order as the scalar ``area()`` /
+  ``margin()`` folds, so the floats match bit for bit.
+* Signed zeros: ``np.minimum``/``np.maximum`` keep the *second* operand on
+  ties while the scalar folds keep the *first*, so an input mixing ``0.0``
+  and ``-0.0`` on one axis can differ from the scalar fold in the sign bit
+  of a zero (never in value).  Integer-coded record data cannot produce
+  ``-0.0``, so releases are unaffected; the edge-case suite pins this down
+  as defined behavior.
+* Empty batches are a defined refusal: ``mbr_of_points`` and
+  ``union_all_boxes`` raise the same ``ValueError`` messages as the scalar
+  ``Box.from_points`` / ``union_all`` so callers cannot tell the paths
+  apart even in the failure direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+
+def boxes_to_array(boxes: Sequence[Box]) -> np.ndarray:
+    """Pack boxes into the columnar ``(N, 2 * dims)`` ``[lows | highs]`` layout."""
+    if not boxes:
+        raise ValueError("cannot union an empty collection of boxes")
+    return np.array(
+        [box.lows + box.highs for box in boxes], dtype=np.float64
+    )
+
+
+def array_to_boxes(array: np.ndarray) -> list[Box]:
+    """Unpack a ``(N, 2 * dims)`` array back into :class:`Box` objects."""
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    dims = rows.shape[1] // 2
+    return [
+        Box(tuple(row[:dims]), tuple(row[dims:]))
+        for row in rows.tolist()
+    ]
+
+
+def mbr_of_points(points: np.ndarray) -> Box:
+    """Minimum bounding box of an ``(N, dims)`` point array.
+
+    Equal to ``Box.from_points`` on the same rows (up to zero-sign, see
+    the module docstring); raises the scalar path's exact message on an
+    empty batch.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (N, dims), got shape {pts.shape}")
+    if pts.shape[0] == 0:
+        raise ValueError("cannot bound an empty collection of points")
+    lows = pts.min(axis=0)
+    highs = pts.max(axis=0)
+    return Box(tuple(lows.tolist()), tuple(highs.tolist()))
+
+
+def group_mbrs(points: np.ndarray, starts: Sequence[int]) -> list[Box]:
+    """MBRs of contiguous groups of an ``(N, dims)`` point array.
+
+    ``starts`` are the group start offsets (``starts[0]`` must be 0 and
+    groups must be non-empty); group ``g`` spans rows
+    ``[starts[g], starts[g + 1])`` with the last group running to the end.
+    One ``minimum.reduceat``/``maximum.reduceat`` pair replaces the
+    per-group per-record Python folds in release emission.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (N, dims), got shape {pts.shape}")
+    offsets = list(starts)
+    if not offsets:
+        return []
+    if offsets[0] != 0:
+        raise ValueError("group starts must begin at 0")
+    bounds = offsets + [pts.shape[0]]
+    for left, right in zip(bounds, bounds[1:]):
+        if right <= left:
+            raise ValueError("cannot bound an empty collection of points")
+    index = np.asarray(offsets, dtype=np.intp)
+    lows = np.minimum.reduceat(pts, index, axis=0)
+    highs = np.maximum.reduceat(pts, index, axis=0)
+    return [
+        Box(tuple(low), tuple(high))
+        for low, high in zip(lows.tolist(), highs.tolist())
+    ]
+
+
+def union_all_boxes(boxes: Iterable[Box]) -> Box:
+    """The minimum box enclosing every box — the ``union_all`` kernel."""
+    array = boxes_to_array(list(boxes))
+    dims = array.shape[1] // 2
+    lows = array[:, :dims].min(axis=0)
+    highs = array[:, dims:].max(axis=0)
+    return Box(tuple(lows.tolist()), tuple(highs.tolist()))
+
+
+def union_arrays(array: np.ndarray) -> np.ndarray:
+    """Column-wise union of an ``(N, 2 * dims)`` box array → ``(2 * dims,)``."""
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    if rows.shape[0] == 0:
+        raise ValueError("cannot union an empty collection of boxes")
+    dims = rows.shape[1] // 2
+    return np.concatenate(
+        [rows[:, :dims].min(axis=0), rows[:, dims:].max(axis=0)]
+    )
+
+
+def volumes(array: np.ndarray) -> np.ndarray:
+    """Per-box volume of an ``(N, 2 * dims)`` array — the ``area()`` kernel.
+
+    The product accumulates dimension by dimension in the scalar fold's
+    left-to-right order, so each float equals ``Box.area()`` exactly,
+    including dims=1 degenerate boxes (a single zero-width extent).
+    """
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    dims = rows.shape[1] // 2
+    result = np.ones(rows.shape[0], dtype=np.float64)
+    for dimension in range(dims):
+        result = result * (rows[:, dims + dimension] - rows[:, dimension])
+    return result
+
+
+def margins(array: np.ndarray) -> np.ndarray:
+    """Per-box margin (sum of extents) — the ``margin()`` kernel."""
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    dims = rows.shape[1] // 2
+    result = np.zeros(rows.shape[0], dtype=np.float64)
+    for dimension in range(dims):
+        result = result + (rows[:, dims + dimension] - rows[:, dimension])
+    return result
+
+
+def intersect_masks(array: np.ndarray, probe: Box) -> np.ndarray:
+    """Which boxes of an ``(N, 2 * dims)`` array intersect ``probe``.
+
+    The closed-box §5.4 match predicate, vectorized: box ``i`` matches iff
+    on every axis ``low_i <= probe.high and probe.low <= high_i``.
+    """
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    dims = rows.shape[1] // 2
+    probe_lows = np.asarray(probe.lows, dtype=np.float64)
+    probe_highs = np.asarray(probe.highs, dtype=np.float64)
+    return np.logical_and(
+        (rows[:, :dims] <= probe_highs).all(axis=1),
+        (probe_lows <= rows[:, dims:]).all(axis=1),
+    )
+
+
+def intersections(array: np.ndarray, probe: Box) -> list[Box | None]:
+    """Per-box intersection with ``probe`` (``None`` where disjoint)."""
+    rows = np.ascontiguousarray(array, dtype=np.float64)
+    dims = rows.shape[1] // 2
+    probe_lows = np.asarray(probe.lows, dtype=np.float64)
+    probe_highs = np.asarray(probe.highs, dtype=np.float64)
+    lows = np.maximum(rows[:, :dims], probe_lows)
+    highs = np.minimum(rows[:, dims:], probe_highs)
+    overlap = (lows <= highs).all(axis=1)
+    results: list[Box | None] = []
+    for hit, low, high in zip(
+        overlap.tolist(), lows.tolist(), highs.tolist()
+    ):
+        results.append(Box(tuple(low), tuple(high)) if hit else None)
+    return results

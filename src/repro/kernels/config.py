@@ -1,0 +1,54 @@
+"""The ``use_kernels`` switch: one process-wide default, overridable per call.
+
+Every kernel-accelerated call site takes ``use_kernels: bool | None``;
+``None`` defers to the process default, which starts from the
+``REPRO_KERNELS`` environment variable (any value but ``"0"`` — or unset —
+means *on*).  The scalar code paths are never deleted: they are the
+differential oracle the test suite holds the kernels against, and flipping
+the default off must reproduce every release bit for bit.
+
+The default is deliberately plain module state, not thread-local: the
+serving layer's single-writer discipline means bulk loads and releases run
+on one thread, and the differential suites flip the flag only around whole
+pipelines.  Worker processes of the sharded engine receive the *resolved*
+flag inside their task tuples, so a parent's override always propagates
+regardless of the multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_default_enabled = os.environ.get("REPRO_KERNELS", "1") != "0"
+
+
+def kernels_enabled(override: bool | None = None) -> bool:
+    """Resolve a per-call ``use_kernels`` value against the process default."""
+    if override is None:
+        return _default_enabled
+    return bool(override)
+
+
+def set_kernels_enabled(enabled: bool) -> bool:
+    """Set the process-wide default (the CLI's ``--no-kernels`` calls this).
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_enabled
+    previous = _default_enabled
+    _default_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def scoped_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily force the process default — the differential suites' tool."""
+    global _default_enabled
+    previous = _default_enabled
+    _default_enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _default_enabled = previous

@@ -71,6 +71,10 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "page.allocations",
     "anonymizer.releases",
     "anonymizer.partitions",
+    "kernels.keyed_records",
+    "kernels.decoded_pages",
+    "kernels.decoded_records",
+    "kernels.group_mbrs",
     "wal.appends",
     "wal.bytes",
     "wal.fsyncs",

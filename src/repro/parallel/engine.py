@@ -102,28 +102,35 @@ def _scan_slice(task: tuple) -> tuple[list[_SubRun], dict[str, object]]:
     """One worker's job: stream a slice, key, range-partition, sort.
 
     Module-level so it pickles under every multiprocessing start method.
-    ``task`` is (source kind, payload, boundaries, lows, highs, bits)
-    where a ``"file"`` payload is (path, start, count, first_rid,
-    batch_size) — the worker opens its own reader and streams the slice by
-    record offsets — and a ``"records"`` payload is the slice itself.
+    ``task`` is (source kind, payload, boundaries, lows, highs, bits,
+    use_kernels) where a ``"file"`` payload is (path, start, count,
+    first_rid, batch_size) — the worker opens its own reader and streams
+    the slice by record offsets — and a ``"records"`` payload is the slice
+    itself.  ``use_kernels`` arrives *resolved* (a plain bool) so the
+    parent's flag governs the children under every start method.
     """
     started = time.perf_counter()
-    kind, payload, boundaries, lows, highs, bits = task
-    if kind == "file":
-        from repro.dataset.io import RecordFileReader
-
-        path, start, count, first_rid, batch_size = payload
-        stream: Iterable[Record] = RecordFileReader(path).iter_records(
-            batch_size, first_rid=first_rid, start=start, count=count
+    kind, payload, boundaries, lows, highs, bits, use_kernels = task
+    if use_kernels:
+        buckets, scanned = _scan_slice_kernels(
+            kind, payload, boundaries, lows, highs, bits
         )
     else:
-        stream = payload
-    buckets: list[_SubRun] = [[] for _ in range(len(boundaries) + 1)]
-    scanned = 0
-    for record in stream:
-        key = hilbert_key(quantize(record.point, lows, highs, bits), bits)
-        buckets[bisect_right(boundaries, key)].append((key, record))
-        scanned += 1
+        if kind == "file":
+            from repro.dataset.io import RecordFileReader
+
+            path, start, count, first_rid, batch_size = payload
+            stream: Iterable[Record] = RecordFileReader(path).iter_records(
+                batch_size, first_rid=first_rid, start=start, count=count
+            )
+        else:
+            stream = payload
+        buckets = [[] for _ in range(len(boundaries) + 1)]
+        scanned = 0
+        for record in stream:
+            key = hilbert_key(quantize(record.point, lows, highs, bits), bits)
+            buckets[bisect_right(boundaries, key)].append((key, record))
+            scanned += 1
     for bucket in buckets:
         bucket.sort(key=lambda pair: (pair[0], pair[1].rid))
     stats: dict[str, object] = {
@@ -132,6 +139,81 @@ def _scan_slice(task: tuple) -> tuple[list[_SubRun], dict[str, object]]:
         "seconds": time.perf_counter() - started,
     }
     return buckets, stats
+
+
+def _scan_slice_kernels(
+    kind: str,
+    payload: object,
+    boundaries: Sequence[int],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    bits: int,
+) -> tuple[list[_SubRun], int]:
+    """The columnar scan: page-decode, batch-key, searchsorted bucketing.
+
+    Produces exactly the scalar loop's buckets — the batch Hilbert kernel
+    is element-wise equal to ``hilbert_key(quantize(...))``, and
+    ``np.searchsorted(..., side="right")`` is ``bisect_right`` — so the
+    merged shard runs are identical with the flag on or off.
+    """
+    import numpy as np
+
+    from repro.kernels.hilbert import hilbert_keys_for_points
+
+    buckets: list[_SubRun] = [[] for _ in range(len(boundaries) + 1)]
+    scanned = 0
+
+    def bucket_batch(
+        points: "np.ndarray", rid_of: "list[int] | range", records: "list[Record] | None"
+    ) -> None:
+        nonlocal scanned
+        if points.shape[0] == 0:
+            return
+        keys = hilbert_keys_for_points(points, lows, highs, bits)
+        if boundaries:
+            # Keep the comparison in exact integer arithmetic: uint64 keys
+            # search uint64 boundaries; >64-bit keys (object arrays of
+            # Python ints) search an object boundary array.
+            if keys.dtype == np.uint64:
+                edges = np.asarray(boundaries, dtype=np.uint64)
+            else:
+                edges = np.array(boundaries, dtype=object)
+            shard_of = np.searchsorted(edges, keys, side="right").tolist()
+        else:
+            shard_of = [0] * points.shape[0]
+        key_list = keys.tolist()
+        if records is None:
+            rows = points.tolist()
+            for offset, (key, shard) in enumerate(zip(key_list, shard_of)):
+                buckets[shard].append(
+                    (key, Record(rid_of[offset], tuple(rows[offset])))
+                )
+        else:
+            for key, shard, record in zip(key_list, shard_of, records):
+                buckets[shard].append((key, record))
+        scanned += points.shape[0]
+
+    if kind == "file":
+        from repro.dataset.io import RecordFileReader
+
+        path, start, count, first_rid, batch_size = payload  # type: ignore[misc]
+        reader = RecordFileReader(path)
+        for position, points in reader.iter_point_batches(
+            batch_size, start=start, count=count
+        ):
+            bucket_batch(
+                points,
+                range(first_rid + position, first_rid + position + points.shape[0]),
+                None,
+            )
+    else:
+        records = list(payload)  # type: ignore[arg-type]
+        if records:
+            points = np.array(
+                [record.point for record in records], dtype=np.float64
+            )
+            bucket_batch(points, [], records)
+    return buckets, scanned
 
 
 def _mp_context():
@@ -226,6 +308,7 @@ def scan_file_shards(
     batch_size: int = 8_192,
     first_rid: int = 0,
     plan: ShardPlan | None = None,
+    use_kernels: bool | None = None,
 ) -> ShardScan:
     """Plan and scan a record file into sorted shard runs.
 
@@ -233,9 +316,11 @@ def scan_file_shards(
     the parent never reads the input, only the workers' sorted runs.
     """
     from repro.dataset.io import RecordFileReader
+    from repro.kernels.config import kernels_enabled
 
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    kernels = kernels_enabled(use_kernels)
     reader = RecordFileReader(path)
     if plan is None:
         with OBS.span("parallel.plan"), TRACE.span(
@@ -249,6 +334,7 @@ def scan_file_shards(
                 bits,
                 sample_size,
                 batch_size,
+                use_kernels=kernels,
             )
     tasks = [
         (
@@ -258,6 +344,7 @@ def scan_file_shards(
             plan.lows,
             plan.highs,
             plan.bits,
+            kernels,
         )
         for start, count in slice_bounds(len(reader), workers)
     ]
@@ -280,6 +367,7 @@ def scan_record_shards(
     bits: int = DEFAULT_HILBERT_BITS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     plan: ShardPlan | None = None,
+    use_kernels: bool | None = None,
 ) -> ShardScan:
     """In-memory counterpart of :func:`scan_file_shards`.
 
@@ -288,8 +376,11 @@ def scan_record_shards(
     what lets the differential suite compare against serial baselines built
     from the very same record objects.
     """
+    from repro.kernels.config import kernels_enabled
+
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    kernels = kernels_enabled(use_kernels)
     if plan is None:
         with OBS.span("parallel.plan"), TRACE.span(
             "parallel.plan", "parallel", shards=shards or workers
@@ -301,6 +392,7 @@ def scan_record_shards(
                 highs,
                 bits,
                 sample_size,
+                use_kernels=kernels,
             )
     tasks = [
         (
@@ -310,6 +402,7 @@ def scan_record_shards(
             plan.lows,
             plan.highs,
             plan.bits,
+            kernels,
         )
         for start, count in slice_bounds(len(records), workers)
     ]
@@ -413,6 +506,7 @@ def parallel_hilbert_partitions(
     shards: int | None = None,
     bits: int = DEFAULT_HILBERT_BITS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
+    use_kernels: bool | None = None,
 ) -> list[list[Record]]:
     """Sharded counterpart of :func:`repro.index.bulk.hilbert_partitions`.
 
@@ -423,7 +517,8 @@ def parallel_hilbert_partitions(
         "parallel.partitions", "parallel", records=len(records), workers=workers
     ):
         scan = scan_record_shards(
-            records, lows, highs, workers, shards, bits, sample_size
+            records, lows, highs, workers, shards, bits, sample_size,
+            use_kernels=use_kernels,
         )
         return list(stitched_chunks(scan.runs, k))
 
@@ -437,6 +532,7 @@ def parallel_bulk_load(
     shards: int | None = None,
     bits: int = DEFAULT_HILBERT_BITS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
+    use_kernels: bool | None = None,
     **tree_kwargs: object,
 ) -> RPlusTree:
     """Sharded counterpart of :func:`repro.index.bulk.hilbert_bulk_load`.
@@ -449,7 +545,8 @@ def parallel_bulk_load(
         "parallel.bulk_load", "parallel", records=len(records), workers=workers
     ):
         scan = scan_record_shards(
-            records, lows, highs, workers, shards, bits, sample_size
+            records, lows, highs, workers, shards, bits, sample_size,
+            use_kernels=use_kernels,
         )
         tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
         BufferTreeLoader(tree).load(
@@ -469,6 +566,7 @@ def parallel_bulk_load_file(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     batch_size: int = 8_192,
     first_rid: int = 0,
+    use_kernels: bool | None = None,
     **tree_kwargs: object,
 ) -> RPlusTree:
     """Build an R⁺-tree from a record file with a sharded worker pool."""
@@ -485,6 +583,7 @@ def parallel_bulk_load_file(
             sample_size,
             batch_size,
             first_rid,
+            use_kernels=use_kernels,
         )
         tree = RPlusTree(len(lows), k, **tree_kwargs)  # type: ignore[arg-type]
         BufferTreeLoader(tree).load(

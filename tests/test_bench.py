@@ -57,6 +57,20 @@ class TestFigureDrivers:
         assert len(table.rows) == 2
         assert "mondrian (s)" in table.headers
 
+    def test_fig7a_kernels(self) -> None:
+        table = figures.fig7a_kernels(
+            records=3_000, scalar_sample=500, batch_size=512
+        )
+        assert [row[0] for row in table.rows] == [
+            "encode", "decode", "hilbert keying",
+        ]
+        # The match column is the bit-identity cross-check on the shared
+        # slice; any "NO" means a kernel diverged from its scalar oracle.
+        assert all(row[-1] == "yes" for row in table.rows)
+        assert set(table.extras) == {
+            "encode_speedup", "decode_speedup", "keying_speedup",
+        }
+
     def test_fig7b(self) -> None:
         table = figures.fig7b_incremental_times(batches=3, batch_size=400, k=5)
         assert len(table.rows) == 3
@@ -120,7 +134,7 @@ class TestFigureDrivers:
 
     def test_registry_covers_every_driver(self) -> None:
         assert set(figures.DRIVERS) == {
-            "fig7a", "fig7a_parallel", "fig7b",
+            "fig7a", "fig7a_parallel", "fig7a_kernels", "fig7b",
             "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig12a", "fig12b", "fig12c", "fig12d",
             "ablation-bulkload", "ablation-split", "ablation-gridfile",

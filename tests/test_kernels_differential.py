@@ -1,0 +1,209 @@
+"""Kernels-on/kernels-off differential suite.
+
+The columnar kernels' contract is *bit-for-bit equality* with the scalar
+paths they replace: flipping ``use_kernels`` must never change a release.
+This suite enforces it end to end across a grid of datasets × k × worker
+counts, comparing leaf regions, partition boxes and membership, the
+release digest, and the audit record (modulo its sequence field) between
+the two modes — the same four levels as the serial/parallel differential
+suite, with the kernel flag as the axis instead of the worker count.
+
+One small cell runs in tier-1 on every push; the full grid carries the
+``stress`` marker and runs in the dedicated CI job alongside the byte-level
+writer/reader and loader differentials below.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.core.anonymizer import RTreeAnonymizer
+from repro.core.partition import release_digest
+from repro.dataset.agrawal import make_agrawal_table
+from repro.dataset.census import make_census_table
+from repro.dataset.io import RecordFileReader, RecordFileWriter, write_table
+from repro.index.bulk import hilbert_partitions, hilbert_sorted
+from repro.kernels import scoped_kernels
+from repro.obs import AUDITOR
+from repro.parallel.planner import plan_file_shards, plan_record_shards
+
+RECORDS = 600
+STRESS_RECORDS = 2_400
+SEED = 7
+DATASETS = {
+    "census": make_census_table,
+    "agrawal": make_agrawal_table,
+}
+GRID = [
+    (dataset, k, workers)
+    for dataset in sorted(DATASETS)
+    for k in (5, 25)
+    for workers in (1, 4)
+]
+
+
+@lru_cache(maxsize=None)
+def _table(dataset: str, records: int):
+    return DATASETS[dataset](records, seed=SEED)
+
+
+def _domain(table):
+    return table.schema.domain_lows(), table.schema.domain_highs()
+
+
+@pytest.fixture(scope="module")
+def record_files(tmp_path_factory):
+    staging = tmp_path_factory.mktemp("kernels_differential")
+    paths = {}
+    for dataset in DATASETS:
+        for records in (RECORDS, STRESS_RECORDS):
+            path = str(staging / f"{dataset}-{records}.records")
+            write_table(_table(dataset, records), path)
+            paths[dataset, records] = path
+    return paths
+
+
+def _release_snapshot(
+    dataset: str, k: int, workers: int | None, records: int, path: str, on: bool
+):
+    """Load from file and publish at k with the kernels forced on or off."""
+    table = _table(dataset, records)
+    with scoped_kernels(on):
+        anonymizer = RTreeAnonymizer(table, base_k=min(5, k))
+        consumed = anonymizer.bulk_load_file(path, workers=workers)
+        assert consumed == records
+        AUDITOR.enable(reset=True)
+        try:
+            release = anonymizer.anonymize(k)
+            audit = dict(AUDITOR.latest)
+        finally:
+            AUDITOR.disable()
+    audit.pop("sequence", None)
+    regions = [
+        (region.lows, region.highs) for region in anonymizer.leaf_regions()
+    ]
+    partitions = [
+        ((p.box.lows, p.box.highs), sorted(p.rids()))
+        for p in release.partitions
+    ]
+    return regions, partitions, release_digest(release), audit
+
+
+def _assert_flag_invisible(dataset, k, workers, records, path) -> None:
+    fast = _release_snapshot(dataset, k, workers, records, path, on=True)
+    slow = _release_snapshot(dataset, k, workers, records, path, on=False)
+    for name, got, expected in zip(
+        ("regions", "partitions", "digest", "audit"), fast, slow
+    ):
+        assert got == expected, (
+            f"{dataset} k={k} workers={workers}: {name} diverged across "
+            "the kernel flag"
+        )
+
+
+def test_small_cell_release_identical_across_flag(record_files) -> None:
+    """The tier-1 cell: serial and sharded, census at the default k."""
+    path = record_files["census", RECORDS]
+    for workers in (None, 2):
+        _assert_flag_invisible("census", 5, workers, RECORDS, path)
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize(("dataset", "k", "workers"), GRID)
+def test_release_identical_across_flag(
+    dataset: str, k: int, workers: int, record_files
+) -> None:
+    path = record_files[dataset, STRESS_RECORDS]
+    _assert_flag_invisible(dataset, k, workers, STRESS_RECORDS, path)
+
+
+@pytest.mark.stress
+def test_forced_multiprocessing_identical_across_flag(
+    monkeypatch, record_files
+) -> None:
+    """Cross the real process boundary: the resolved flag rides inside the
+    worker task tuples, so a forced pool must behave like the in-process
+    fallback in both modes."""
+    monkeypatch.setenv("REPRO_PARALLEL_POOL", "force")
+    path = record_files["census", RECORDS]
+    _assert_flag_invisible("census", 5, 4, RECORDS, path)
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_hilbert_ordering_identical_across_flag(dataset: str) -> None:
+    """The loader's sort — keys, stable tie order, and grouping — is the
+    innermost surface the flag touches; compare it directly."""
+    table = _table(dataset, RECORDS)
+    records = list(table.records)
+    lows, highs = _domain(table)
+    assert hilbert_sorted(records, lows, highs, use_kernels=True) == (
+        hilbert_sorted(records, lows, highs, use_kernels=False)
+    )
+    assert hilbert_partitions(records, lows, highs, 5, use_kernels=True) == (
+        hilbert_partitions(records, lows, highs, 5, use_kernels=False)
+    )
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_shard_plans_identical_across_flag(dataset: str, record_files) -> None:
+    """Planner sampling keys through the kernels must place the exact same
+    shard boundaries (they are plain Python ints on both paths)."""
+    table = _table(dataset, RECORDS)
+    records = list(table.records)
+    lows, highs = _domain(table)
+    path = record_files[dataset, RECORDS]
+    from repro.index.bulk import DEFAULT_HILBERT_BITS as BITS
+
+    for shards in (2, 5):
+        assert plan_record_shards(
+            records, shards, lows, highs, BITS, use_kernels=True
+        ) == plan_record_shards(
+            records, shards, lows, highs, BITS, use_kernels=False
+        )
+        assert plan_file_shards(
+            path, shards, lows, highs, BITS, use_kernels=True
+        ) == plan_file_shards(
+            path, shards, lows, highs, BITS, use_kernels=False
+        )
+
+
+def test_batch_writer_produces_byte_identical_files(tmp_path) -> None:
+    """``write_batch`` against a per-record ``write_point`` control file."""
+    table = _table("census", RECORDS)
+    points = [record.point for record in table.records]
+    scalar_path = tmp_path / "scalar.records"
+    batch_path = tmp_path / "batch.records"
+    with RecordFileWriter(scalar_path, len(points[0])) as writer:
+        for point in points:
+            writer.write_point(point)
+    with RecordFileWriter(batch_path, len(points[0])) as writer:
+        written = writer.write_batch(np.array(points, dtype=np.float64))
+    assert written == len(points)
+    assert batch_path.read_bytes() == scalar_path.read_bytes()
+
+
+def test_batch_reader_yields_the_scalar_rows(tmp_path) -> None:
+    """``iter_point_batches`` over every batch size tiles ``iter_points``
+    exactly, including the slice-window form the shard scanners use."""
+    table = _table("census", RECORDS)
+    path = tmp_path / "census.records"
+    write_table(table, path)
+    reader = RecordFileReader(path)
+    scalar = [tuple(point) for point in reader.iter_points()]
+    for batch_size in (1, 7, 256, 10_000):
+        rows: list[tuple[float, ...]] = []
+        positions: list[int] = []
+        for position, points in reader.iter_point_batches(batch_size):
+            positions.append(position)
+            rows.extend(tuple(row) for row in points.tolist())
+        assert rows == scalar
+        assert positions[0] == 0
+    window = list(reader.iter_point_batches(64, start=100, count=37))
+    windowed = [
+        tuple(row) for _, points in window for row in points.tolist()
+    ]
+    assert windowed == scalar[100:137]
+    assert window[0][0] == 100

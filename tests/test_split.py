@@ -149,6 +149,71 @@ class TestExhaustiveEquivalence:
 
             assert score(a) == pytest.approx(score(b))
 
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            min_size=4,
+            max_size=32,
+        ),
+        st.integers(1, 4),
+    )
+    def test_paths_agree_exactly_on_tie_heavy_dyadic_inputs(
+        self, points: list[tuple[int, int]], min_count: int
+    ) -> None:
+        """With power-of-two domain extents and integer coordinates every
+        margin is a dyadic rational well inside float53, so the two paths'
+        scores — accumulated in different association orders — are exact
+        and the *decisions* (not just the objectives) must coincide.  The
+        tiny value alphabet makes duplicate runs, the case where skipping
+        intra-run boundaries must agree between the mask arithmetic and
+        the sweep's equality check."""
+        records = records_from([(float(a), float(b)) for a, b in points])
+        extents = (4.0, 4.0)
+        a = exhaustive_ncp_split(records, min_count, extents, None, range(2))
+        b = exhaustive_ncp_split_small(records, min_count, extents, None, range(2))
+        assert a == b
+
+    def test_duplicates_on_one_dimension_force_the_other(self) -> None:
+        records = records_from(
+            [(7.0, float(value)) for value in (0, 0, 1, 1, 8, 8)]
+        )
+        extents = (8.0, 8.0)
+        a = exhaustive_ncp_split(records, 2, extents, None, range(2))
+        b = exhaustive_ncp_split_small(records, 2, extents, None, range(2))
+        assert a == b
+        assert a is not None and a.dimension == 1
+
+    def test_no_legal_boundary_returns_none_on_both_paths(self) -> None:
+        # Four identical records, and a duplicate pattern too tight for
+        # min_count=3 on either side — both paths must refuse both.
+        for rows in (
+            [(2.0, 2.0)] * 4,
+            [(1.0, 0.0), (1.0, 0.0), (9.0, 0.0), (9.0, 0.0), (9.0, 0.0)],
+        ):
+            records = records_from(rows)
+            assert exhaustive_ncp_split(records, 3, (9.0, 9.0), None, range(2)) is None
+            assert (
+                exhaustive_ncp_split_small(records, 3, (9.0, 9.0), None, range(2))
+                is None
+            )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 16), st.integers(0, 16)),
+            min_size=6,
+            max_size=24,
+        )
+    )
+    def test_weighted_paths_agree_exactly_on_dyadic_inputs(
+        self, points: list[tuple[int, int]]
+    ) -> None:
+        records = records_from([(float(a), float(b)) for a, b in points])
+        extents = (16.0, 16.0)
+        weights = (2.0, 0.5)  # powers of two keep the arithmetic exact
+        a = exhaustive_ncp_split(records, 2, extents, weights, range(2))
+        b = exhaustive_ncp_split_small(records, 2, extents, weights, range(2))
+        assert a == b
+
     def test_exhaustive_policy_wrapper(self) -> None:
         records = records_from([(float(i), 0.0) for i in range(12)])
         decision = ExhaustiveSplitPolicy().choose_split(records, 3, (12.0, 12.0))

@@ -19,10 +19,12 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro import api
 from repro.api import Anonymizer, ReleaseResult
+from repro.cluster import ClusterConfig, ShardedCluster
 from repro.serve import (
     AnonymizerService,
     ReleaseSnapshot,
     ServiceConfig,
+    ServiceProtocol,
     TelemetryConfig,
 )
 from repro.baselines.grid import GridFileAnonymizer, gridfile_anonymize
@@ -87,6 +89,7 @@ __all__ = [
     "Box",
     "BufferTreeLoader",
     "CensusGenerator",
+    "ClusterConfig",
     "ConstrainedSplitPolicy",
     "DurabilityConfig",
     "GridFile",
@@ -109,6 +112,8 @@ __all__ = [
     "ReleaseSnapshot",
     "Schema",
     "ServiceConfig",
+    "ServiceProtocol",
+    "ShardedCluster",
     "Table",
     "TelemetryConfig",
     "WeightedSplitPolicy",

@@ -41,12 +41,14 @@ from repro.durability.manager import DurabilityConfig
 from repro.durability.recovery import RecoveryResult
 from repro.durability.recovery import recover as _recover_directory
 from repro.index.split import SplitPolicy
+from repro.cluster import ClusterConfig, ShardedCluster
 from repro.obs import AUDITOR
 from repro.obs.audit import audit_release
 from repro.serve import (
     AnonymizerService,
     ReleaseSnapshot,
     ServiceConfig,
+    ServiceProtocol,
     TelemetryConfig,
 )
 from repro.storage.buffer_pool import BufferPool
@@ -55,9 +57,12 @@ __all__ = [
     "Anonymizer",
     "AnonymizerService",
     "CheckpointResult",
+    "ClusterConfig",
     "ReleaseResult",
     "ReleaseSnapshot",
     "ServiceConfig",
+    "ServiceProtocol",
+    "ShardedCluster",
     "TelemetryConfig",
     "open",
     "recover",
@@ -262,7 +267,9 @@ def open(
     leaf_capacity: int | None = None,
     serve: bool = False,
     service_config: ServiceConfig | None = None,
-) -> "Anonymizer | AnonymizerService":
+    shards: int = 1,
+    cluster_config: ClusterConfig | None = None,
+) -> "Anonymizer | AnonymizerService | ShardedCluster":
     """Create an anonymizer handle for a schema, table, or record file.
 
     A :class:`Schema` or :class:`Table` is used directly (a table's
@@ -275,7 +282,24 @@ def open(
     get cached, epoch-validated release snapshots while mutations flow
     through a bounded, group-committed write queue.  ``service_config``
     tunes the queue bound, batch size and cache.
+
+    ``shards`` > 1 (or an explicit ``cluster_config``) scales serving
+    across processes: the handle is a
+    :class:`~repro.cluster.ShardedCluster` — the same
+    :class:`~repro.serve.ServiceProtocol` surface, backed by one worker
+    process per contiguous Hilbert-key range.  The cluster owns its
+    engines, so the single-engine knobs (``durability``, ``pool``,
+    ``split_policy``, ``leaf_capacity``) are rejected — per-shard WALs
+    root at ``ClusterConfig.durability_dir`` instead.
     """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if cluster_config is not None and shards not in (1, cluster_config.shards):
+        raise ValueError(
+            f"shards={shards} disagrees with cluster_config.shards="
+            f"{cluster_config.shards}; pass one or make them match"
+        )
+    clustered = cluster_config is not None or shards > 1
     if isinstance(source, Schema):
         schema_table = Table(source, ())
     elif isinstance(source, Table):
@@ -287,6 +311,34 @@ def open(
             f"cannot open {type(source).__name__}: expected a Schema, "
             "Table, or record-file path"
         )
+    if clustered:
+        if not serve:
+            raise ValueError("shards/cluster_config require serve=True")
+        for name, value in (
+            ("durability", durability),
+            ("pool", pool),
+            ("split_policy", split_policy),
+            ("leaf_capacity", leaf_capacity),
+        ):
+            if value is not None:
+                raise ValueError(
+                    f"{name}= does not apply to a sharded cluster; each "
+                    "shard owns its engine (use ClusterConfig.durability_dir "
+                    "for per-shard WALs)"
+                )
+        if cluster_config is None:
+            cluster_config = ClusterConfig(
+                shards=shards,
+                service=service_config
+                if service_config is not None
+                else ServiceConfig(),
+            )
+        elif service_config is not None:
+            raise ValueError(
+                "pass service_config inside cluster_config.service when "
+                "opening a cluster"
+            )
+        return ShardedCluster(schema_table, cluster_config, base_k=base_k)
     engine = RTreeAnonymizer(
         schema_table,
         base_k=base_k,
@@ -306,13 +358,26 @@ def serve(
     source: "Schema | Table | str | Path",
     *,
     service_config: ServiceConfig | None = None,
+    shards: int = 1,
+    cluster_config: ClusterConfig | None = None,
     **kwargs: object,
-) -> AnonymizerService:
-    """Shorthand for :func:`open` with ``serve=True``."""
+) -> ServiceProtocol:
+    """Shorthand for :func:`open` with ``serve=True``.
+
+    Returns the protocol type: an
+    :class:`~repro.serve.AnonymizerService` for ``shards=1``, a
+    :class:`~repro.cluster.ShardedCluster` beyond — both satisfy
+    :class:`~repro.serve.ServiceProtocol`.
+    """
     handle = open(
-        source, serve=True, service_config=service_config, **kwargs  # type: ignore[arg-type]
+        source,
+        serve=True,
+        service_config=service_config,
+        shards=shards,
+        cluster_config=cluster_config,
+        **kwargs,  # type: ignore[arg-type]
     )
-    assert isinstance(handle, AnonymizerService)
+    assert isinstance(handle, (AnonymizerService, ShardedCluster))
     return handle
 
 

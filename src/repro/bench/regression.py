@@ -74,6 +74,9 @@ KEY_COUNTERS: tuple[str, ...] = (
     "serve.write_groups",
     "serve.telemetry.scrapes",
     "serve.slow_ops",
+    "cluster.routed_records",
+    "cluster.releases",
+    "cluster.cache_misses",
 )
 
 
@@ -115,6 +118,19 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
                     "repeats": 5,
                 },
             ),
+            (
+                "serve_cluster",
+                {
+                    "records": 2_000,
+                    "write_rounds": 4,
+                    "write_batch": 100,
+                    "reads_per_round": 2,
+                    "k": 25,
+                    "shard_counts": (1, 2),
+                    "seed": 1,
+                    "repeats": 3,
+                },
+            ),
         ]
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
@@ -135,6 +151,18 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
                 "write_batch": 200,
                 "reads_per_round": 20,
                 "ks": (10, 25, 50),
+                "seed": 1,
+            },
+        ),
+        (
+            "serve_cluster",
+            {
+                "records": 8_000,
+                "write_rounds": 8,
+                "write_batch": 400,
+                "reads_per_round": 4,
+                "k": 25,
+                "shard_counts": (1, 2, 4),
                 "seed": 1,
             },
         ),

@@ -20,6 +20,7 @@
     repro checkpoint --dir state/  # offline checkpoint (bounds replay work)
     repro serve-bench              # serving throughput, cached vs uncached
     repro serve-demo --port 8787   # live service with /metrics + /healthz
+    repro serve-demo --shards 4    # sharded cluster: 4 worker processes
     repro top --url http://127.0.0.1:8787   # refreshing telemetry dashboard
 
 The data-facing commands (``anonymize``, ``bench``, ``recover``,
@@ -226,10 +227,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve-demo: telemetry endpoint port (0 = ephemeral, printed at start)",
     )
     live.add_argument(
-        "--seconds",
+        "--duration",
         type=float,
         default=5.0,
-        help="serve-demo: how long to keep the service alive under load",
+        help="serve-demo: how long to keep the service alive under load (seconds)",
+    )
+    live.add_argument(
+        "--seconds",
+        dest="duration",
+        type=float,
+        action=_DeprecatedAlias,
+        new_option="--duration",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    live.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "serve-demo: number of shard worker processes (1 = the "
+            "single-writer service, >1 = a sharded cluster)"
+        ),
     )
     live.add_argument(
         "--slow-op-log",
@@ -414,11 +433,14 @@ def _serve_demo_command(arguments: argparse.Namespace) -> int:
     """``repro serve-demo``: a live service with its telemetry endpoint up.
 
     Runs a telemetry-enabled :class:`~repro.serve.AnonymizerService` under
-    a steady write/release load for ``--seconds``, printing the endpoint
-    URL first so a scraper (CI's smoke job, ``repro top``, Prometheus) can
-    attach while it runs.  With ``--slow-op-log`` every operation slower
-    than ``--slow-op-threshold`` lands in the JSONL log with its recent
-    trace spans attached.
+    a steady write/release load for ``--duration`` seconds, printing the
+    endpoint URL first so a scraper (CI's smoke job, ``repro top``,
+    Prometheus) can attach while it runs.  ``--shards N`` (N > 1) serves
+    a :class:`~repro.cluster.ShardedCluster` instead — same protocol,
+    N worker processes, shard-labeled metrics on one endpoint.  With
+    ``--slow-op-log`` every operation slower than ``--slow-op-threshold``
+    lands in the JSONL log with its recent trace spans attached
+    (single-service only; a cluster's slow-op logs live in its shards).
     """
     import time
 
@@ -439,18 +461,28 @@ def _serve_demo_command(arguments: argparse.Namespace) -> int:
         slow_op_log=arguments.slow_op_log,
         slow_op_threshold=arguments.slow_op_threshold,
     )
-    service = api.serve(
-        table.schema,
-        service_config=api.ServiceConfig(telemetry=telemetry),
-    )
+    shards = arguments.shards
+    if shards > 1:
+        service = api.serve(
+            table.schema,
+            shards=shards,
+            cluster_config=api.ClusterConfig(shards=shards, telemetry=telemetry),
+        )
+    else:
+        service = api.serve(
+            table.schema,
+            service_config=api.ServiceConfig(telemetry=telemetry),
+        )
     try:
         print(f"serving telemetry at {service.telemetry_url}", flush=True)
+        backend = f"{shards} shard processes" if shards > 1 else "single writer"
         print(
             f"  GET /metrics (Prometheus text)  GET /healthz (JSON); "
-            f"load: {records:,} records, k={k}, {arguments.seconds:g}s",
+            f"load: {records:,} records, k={k}, "
+            f"{arguments.duration:g}s, {backend}",
             flush=True,
         )
-        deadline = time.monotonic() + arguments.seconds
+        deadline = time.monotonic() + arguments.duration
         batch = list(table.records)
         chunk = max(1, len(batch) // 20)
         offset = 0
@@ -467,10 +499,11 @@ def _serve_demo_command(arguments: argparse.Namespace) -> int:
             f"served {releases} release(s) over {offset:,} records; "
             f"health={health['status']} epoch={health['epoch']}"
         )
-        if service.slow_op_log is not None:
+        slow_op_log = getattr(service, "slow_op_log", None)
+        if slow_op_log is not None:
             print(
-                f"  slow ops:   {service.slow_op_log.recorded} recorded "
-                f"in {service.slow_op_log.path}"
+                f"  slow ops:   {slow_op_log.recorded} recorded "
+                f"in {slow_op_log.path}"
             )
         if profiling:
             _show_profile("serve-demo", arguments.profile_json)

@@ -1,0 +1,34 @@
+"""Sharded serving: an N-process cluster behind the ServiceProtocol API.
+
+The cluster scales the single-writer serving layer across cores by
+splitting the key space into contiguous Hilbert-key ranges (the same
+:class:`~repro.parallel.planner.ShardPlan` the parallel bulk loader
+uses) and giving each range to a worker process running a full
+single-writer stack.  A :class:`~repro.cluster.router.ShardedCluster`
+front-end key-routes writes, scatter-gathers releases with cross-seam
+k-floor repair, and aggregates epochs, health, and metrics — serving the
+same :class:`~repro.serve.protocol.ServiceProtocol` surface as
+:class:`~repro.serve.service.AnonymizerService`, with bit-identical
+release digests.
+"""
+
+from repro.cluster.protocol import (
+    EndOfStream,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+from repro.cluster.router import ClusterConfig, ShardedCluster
+from repro.cluster.seams import assemble_release
+from repro.cluster.worker import shard_worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "EndOfStream",
+    "FrameError",
+    "ShardedCluster",
+    "assemble_release",
+    "recv_frame",
+    "send_frame",
+    "shard_worker_main",
+]

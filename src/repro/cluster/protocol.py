@@ -1,0 +1,97 @@
+"""Length-prefixed pickle framing — the cluster's wire protocol.
+
+One frame is a 4-byte big-endian length header followed by a pickled
+payload.  The router and the shard workers speak strict request/reply
+over a stream socket pair: the router's per-shard dispatcher sends one
+request frame and blocks (with a bounded timeout) for exactly one reply
+frame, and the worker's loop receives one request, applies it, and
+replies.  There is no interleaving to recover from, so the framing can
+stay this small.
+
+Frames are pickles because both ends are the *same trusted codebase*
+(the worker is forked/spawned by the router, the socket pair is
+inherited, never bound to a port) — this is process fan-out, not an
+open network protocol.  Payload shapes:
+
+* request: ``(seq, op, args)`` — ``op`` a short string, ``args`` a tuple;
+* reply:   ``(seq, "ok", value)`` or ``(seq, "err", exception)``.
+
+:class:`EndOfStream` (peer vanished) and :class:`FrameError` (corrupt or
+oversized frame) are how a dead or wedged worker surfaces to the router,
+which converts them into
+:class:`~repro.serve.service.ServiceClosedError` on every affected
+future — the fix that guarantees a killed shard can never strand a
+client on a hung future.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "EndOfStream",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "recv_frame",
+    "send_frame",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; a length beyond this is treated as
+#: stream corruption rather than an allocation request.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(ConnectionError):
+    """The stream produced something that is not a well-formed frame."""
+
+
+class EndOfStream(FrameError):
+    """The peer closed the stream (worker death closes its socket)."""
+
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Pickle ``payload`` and write it as one length-prefixed frame."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EndOfStream(
+                "peer closed the stream mid-frame"
+                if chunks or remaining != count
+                else "peer closed the stream"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one frame and unpickle its payload.
+
+    Raises :class:`EndOfStream` on a cleanly closed peer,
+    :class:`FrameError` on a corrupt length, and lets the socket's
+    timeout (``socket.timeout`` is :class:`TimeoutError`) propagate — the
+    dispatcher's bounded wait.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame header claims {length} bytes, beyond the "
+            f"{MAX_FRAME_BYTES}-byte bound — stream is corrupt"
+        )
+    return pickle.loads(_recv_exact(sock, length))

@@ -45,6 +45,52 @@ from repro.storage.buffer_pool import BufferPool
 DEFAULT_BASE_K = 5
 
 
+def build_compacted_partitions(
+    groups: Sequence[Sequence[Record]], use_kernels: bool | None = None
+) -> list[Partition]:
+    """Each record group as a partition under its minimum bounding box.
+
+    The one shared publish path for compacted releases: both
+    :meth:`RTreeAnonymizer._emit_release` and the sharded serving
+    cluster's seam assembly (:mod:`repro.cluster.seams`) build their
+    partitions here, so a cluster release and a single-writer release
+    over the same groups are the same objects box for box.  With kernels
+    on, one ``reduceat`` pair over all groups' points replaces the
+    per-group per-record Python MBR folds; the resulting boxes are
+    bit-identical on integer-coded data (see :mod:`repro.kernels.boxes`
+    on signed zeros).
+    """
+    from repro.kernels.config import kernels_enabled
+
+    if kernels_enabled(use_kernels) and groups:
+        import numpy as np
+
+        from repro.kernels.boxes import group_mbrs
+
+        starts: list[int] = []
+        offset = 0
+        for group in groups:
+            starts.append(offset)
+            offset += len(group)
+        flat = np.array(
+            [r.point for group in groups for r in group],
+            dtype=np.float64,
+        )
+        boxes = group_mbrs(flat, starts)
+        if OBS.enabled:
+            OBS.count("kernels.group_mbrs", len(boxes))
+        return [
+            Partition.trusted(tuple(group), box)
+            for group, box in zip(groups, boxes)
+        ]
+    return [
+        Partition.trusted(
+            tuple(group), Box.from_points(r.point for r in group)
+        )
+        for group in groups
+    ]
+
+
 def _kernel_record_stream(
     reader, batch_size: int, first_rid: int  # noqa: ANN001 - RecordFileReader
 ) -> Iterable[Record]:
@@ -361,6 +407,11 @@ class RTreeAnonymizer:
         hierarchy so partition boxes stay disjoint;
         ``"sequential"`` is the literal Figure 5 scan.  Both carry the same
         Lemma 1 multi-release guarantee (whole leaves, sequential order).
+        ``"hilbert"`` instead sorts every record by ``(Hilbert key, rid)``
+        and chunks the global order — a *tree-shape-independent* release
+        (two indexes holding the same records publish identical output),
+        which is what the sharded serving cluster reproduces shard by
+        shard; it requires ``compacted=True`` and no constraint.
         """
         if k < self._tree.k:
             raise ValueError(
@@ -394,48 +445,47 @@ class RTreeAnonymizer:
         strategy: str,
         use_kernels: bool | None = None,
     ) -> AnonymizedTable:
-        from repro.kernels.config import kernels_enabled
-
         leaves = self._tree.leaves()
         if strategy == "subtree":
             groups = subtree_scan(self._tree, k, constraint)
         elif strategy == "sequential":
             groups = leaf_scan([leaf.records for leaf in leaves], k, constraint)
+        elif strategy == "hilbert":
+            # The order-based strategy: sort *all* records by (Hilbert
+            # key, rid) over the schema's domain box and chunk the global
+            # order with the k-floor.  Unlike the leaf-aligned strategies
+            # the output is a pure function of the record set — two trees
+            # holding the same records release identically however they
+            # were built.  That tree-shape independence is what lets the
+            # sharded serving cluster (repro.cluster) reproduce this exact
+            # release from per-shard runs stitched at the seams.
+            if constraint is not None:
+                raise ValueError(
+                    "the 'hilbert' strategy does not support per-partition "
+                    "constraints; use 'subtree' or 'sequential'"
+                )
+            if not compacted:
+                raise ValueError(
+                    "the 'hilbert' strategy groups a global record order, "
+                    "not whole leaves, so it has no leaf regions to "
+                    "publish; use compacted=True"
+                )
+            from repro.index.bulk import chunk_with_floor, hilbert_ordered
+
+            records = [
+                record for leaf in leaves for record in leaf.records
+            ]
+            ordered = hilbert_ordered(
+                records,
+                self._schema.domain_lows(),
+                self._schema.domain_highs(),
+                use_kernels=use_kernels,
+            )
+            groups = chunk_with_floor(ordered, k)
         else:
             raise ValueError(f"unknown grouping strategy {strategy!r}")
         if compacted:
-            if kernels_enabled(use_kernels) and groups:
-                # One reduceat pair over all groups' points replaces the
-                # per-group per-record Python MBR folds; the resulting
-                # boxes are bit-identical on integer-coded data (see
-                # repro.kernels.boxes on signed zeros).
-                import numpy as np
-
-                from repro.kernels.boxes import group_mbrs
-
-                starts: list[int] = []
-                offset = 0
-                for group in groups:
-                    starts.append(offset)
-                    offset += len(group)
-                flat = np.array(
-                    [r.point for group in groups for r in group],
-                    dtype=np.float64,
-                )
-                boxes = group_mbrs(flat, starts)
-                if OBS.enabled:
-                    OBS.count("kernels.group_mbrs", len(boxes))
-                partitions = [
-                    Partition.trusted(tuple(group), box)
-                    for group, box in zip(groups, boxes)
-                ]
-            else:
-                partitions = [
-                    Partition.trusted(
-                        tuple(group), Box.from_points(r.point for r in group)
-                    )
-                    for group in groups
-                ]
+            partitions = build_compacted_partitions(groups, use_kernels)
         else:
             regions = self.leaf_regions()
             partitions = []

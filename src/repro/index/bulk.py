@@ -71,6 +71,51 @@ def hilbert_sorted(
         )
 
 
+def hilbert_ordered(
+    records: Sequence[Record],
+    lows: Sequence[float],
+    highs: Sequence[float],
+    bits: int = DEFAULT_HILBERT_BITS,
+    use_kernels: bool | None = None,
+) -> list[Record]:
+    """Records sorted by ``(hilbert key, rid)`` over the given domain box.
+
+    Unlike :func:`hilbert_sorted` — whose stable sort preserves *input*
+    order between equal keys — the rid tie-break makes this order a pure
+    function of the record **set**, independent of how the records arrive.
+    That is the property the sharded serving cluster relies on: each shard
+    sorts its own records by ``(key, rid)`` and, because shards own
+    contiguous ascending key ranges, concatenating the per-shard runs
+    reconstructs exactly this global order.  The single-writer ``hilbert``
+    release strategy sorts with the same function, which is what makes the
+    two backends' releases bit-identical.
+    """
+    with TRACE.span("bulk.hilbert_order", "bulk", records=len(records)):
+        if kernels_enabled(use_kernels) and len(records) > 1:
+            import numpy as np
+
+            from repro.kernels.hilbert import hilbert_keys_for_points
+
+            points = np.array(
+                [record.point for record in records], dtype=np.float64
+            )
+            keys = hilbert_keys_for_points(points, lows, highs, bits).tolist()
+            if OBS.enabled:
+                OBS.count("kernels.keyed_records", len(keys))
+            order = sorted(
+                range(len(records)),
+                key=lambda index: (keys[index], records[index].rid),
+            )
+            return [records[index] for index in order]
+        return sorted(
+            records,
+            key=lambda record: (
+                hilbert_key(quantize(record.point, lows, highs, bits), bits),
+                record.rid,
+            ),
+        )
+
+
 def hilbert_partitions(
     records: Sequence[Record],
     lows: Sequence[float],

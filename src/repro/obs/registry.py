@@ -92,6 +92,16 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "serve.telemetry.scrapes",
     "serve.telemetry.health_checks",
     "serve.telemetry.errors",
+    "cluster.routed_inserts",
+    "cluster.routed_records",
+    "cluster.routed_deletes",
+    "cluster.routed_updates",
+    "cluster.cross_shard_updates",
+    "cluster.releases",
+    "cluster.release_records",
+    "cluster.cache_hits",
+    "cluster.cache_misses",
+    "cluster.shard_failures",
 )
 
 #: Gauge names pre-registered alongside the counters (point-in-time levels).
@@ -99,6 +109,9 @@ DEFAULT_GAUGES: tuple[str, ...] = (
     "serve.queue_depth",
     "serve.backpressure",
     "serve.epoch",
+    "cluster.shards",
+    "cluster.dead_shards",
+    "cluster.epoch",
 )
 
 #: Histogram names pre-registered alongside the counters.
@@ -111,6 +124,7 @@ DEFAULT_HISTOGRAMS: tuple[str, ...] = (
     "serve.release_seconds",
     "serve.snapshot_swap_seconds",
     "wal.fsync_seconds",
+    "cluster.release_seconds",
 )
 
 #: Everything :meth:`MetricsRegistry.enable` declares up front.

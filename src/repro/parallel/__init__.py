@@ -26,6 +26,7 @@ from repro.parallel.planner import (
     plan_file_shards,
     plan_from_sample,
     plan_record_shards,
+    plan_uniform,
     sample_file_keys,
     sample_record_keys,
     slice_bounds,
@@ -43,6 +44,7 @@ __all__ = [
     "plan_file_shards",
     "plan_from_sample",
     "plan_record_shards",
+    "plan_uniform",
     "sample_file_keys",
     "sample_record_keys",
     "scan_file_shards",

@@ -65,9 +65,9 @@ class ServiceClosedError(RuntimeError):
     """Raised when submitting to or reading from a closed service."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ServiceConfig:
-    """Tuning knobs for an :class:`AnonymizerService`.
+    """Tuning knobs for an :class:`AnonymizerService` (keyword-only).
 
     ``max_queue`` bounds the write queue (submitters block when full —
     that bound *is* the backpressure).  ``max_batch`` caps how many

@@ -73,6 +73,20 @@ def test_input_alias_warns_only_once():
     assert not caught
 
 
+def test_seconds_alias_still_works_but_warns_deprecation():
+    parser = cli._build_parser()
+    with pytest.deprecated_call(match="--seconds is deprecated"):
+        arguments = parser.parse_args(["serve-demo", "--seconds", "2.5"])
+    assert arguments.duration == 2.5
+
+
+def test_duration_and_shards_defaults():
+    parser = cli._build_parser()
+    arguments = parser.parse_args(["serve-demo"])
+    assert arguments.duration == 5.0
+    assert arguments.shards == 1
+
+
 # -- durable command round trip ----------------------------------------------
 
 
@@ -167,7 +181,7 @@ def test_serve_demo_serves_metrics_and_logs_slow_ops(tmp_path, capsys):
             "400",
             "--k",
             "5",
-            "--seconds",
+            "--duration",
             "0.4",
             "--port",
             "0",

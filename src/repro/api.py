@@ -20,6 +20,10 @@ schemas, loaders, pools and durability managers by hand:
   thread-safe :class:`~repro.serve.AnonymizerService` handle that serves
   immutable release snapshots to concurrent readers while a single
   writer thread applies queued mutations (see docs/API.md "Serving").
+* ``service.query(...)`` on either serving backend — §5.4 point-lookup,
+  range-COUNT, group-by and distinct-count queries answered through the
+  release's partition index (:class:`~repro.query.QueryEngine` pushdown;
+  see docs/API.md "Querying releases").
 
 The migration table from the older layered API lives in ``docs/API.md``.
 """
@@ -44,6 +48,13 @@ from repro.index.split import SplitPolicy
 from repro.cluster import ClusterConfig, ShardedCluster
 from repro.obs import AUDITOR
 from repro.obs.audit import audit_release
+from repro.query.engine import (
+    QueryEngine,
+    QueryResult,
+    group_by_queries,
+    point_query,
+)
+from repro.query.ranges import RangeQuery
 from repro.serve import (
     AnonymizerService,
     ReleaseSnapshot,
@@ -58,13 +69,18 @@ __all__ = [
     "AnonymizerService",
     "CheckpointResult",
     "ClusterConfig",
+    "QueryEngine",
+    "QueryResult",
+    "RangeQuery",
     "ReleaseResult",
     "ReleaseSnapshot",
     "ServiceConfig",
     "ServiceProtocol",
     "ShardedCluster",
     "TelemetryConfig",
+    "group_by_queries",
     "open",
+    "point_query",
     "recover",
     "serve",
 ]

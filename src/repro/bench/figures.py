@@ -1440,6 +1440,200 @@ def serve_cluster_bench(
     return result
 
 
+def query_bench(
+    records: int = 10_000,
+    queries: int = 400,
+    ks: Sequence[int] = (10, 25, 50),
+    base_k: int = 5,
+    reader_counts: Sequence[int] = (4, 8, 16),
+    write_batch: int = 200,
+    reader_batch: int = 20,
+    seed: int = 1,
+) -> BenchTable:
+    """Serving-side query throughput and accuracy-vs-k (repro.query.engine).
+
+    Two phases against one :class:`~repro.serve.AnonymizerService`:
+
+    **Phase A (deterministic, metered).**  Single-threaded: for each k,
+    answer the whole random-range workload through
+    ``service.query`` (index pushdown), cross-check every count against
+    the scalar leaf-scan oracle (the ``oracle`` column must read
+    ``match``), and report the §5.4 accuracy (average normalized error
+    falls as k falls) alongside the pushdown counters — ``pruned`` is the
+    number of subtrees discarded without being visited and ``aggregated``
+    the number answered from cached subtree totals without descending;
+    both being positive is the proof the engine is *not* doing a
+    disguised leaf scan.  Everything in this phase is a pure function of
+    the seed, so the ``query.*`` counters sit in the bench-regression
+    trail.
+
+    **Phase B (throughput, unmetered).**  For each entry of
+    ``reader_counts``, that many reader threads split the workload and
+    answer it in ``reader_batch``-query calls at the largest k while one
+    writer thread continuously feeds ``write_batch``-record insert groups
+    through the write queue.  Each write bumps the epoch, so readers pay
+    realistic snapshot recomputes and engine rebuilds mid-flight; the
+    ``queries/s`` column is end-to-end wall clock.  The phase runs with
+    the metrics registry *disabled*: its counter values depend on
+    scheduler interleaving (how many rebuilds each reader happens to
+    trigger), which would poison the deterministic trail — the same
+    reasoning that keeps :func:`serve_bench`'s scrapes outside its timed
+    window.
+    """
+    import itertools
+    import threading
+
+    from repro import obs
+    from repro.query.ranges import count_anonymized_bulk
+    from repro.serve import AnonymizerService, ServiceConfig
+
+    # Counter columns need the registry; collect locally when the caller
+    # (CLI without --profile) has not already enabled it.
+    owns_obs = not obs.OBS.enabled
+    if owns_obs:
+        obs.enable()
+
+    table = LandsEndGenerator(seed).generate(records + 8 * write_batch)
+    base = Table(table.schema, tuple(table.records[:records]))
+    feed = table.records[records:]
+    workload = random_range_workload(base, queries, seed=seed + 100)
+    original_counts = count_original_bulk(workload, base)
+    result = BenchTable(
+        f"Query engine: {records:,} records, {queries} range-COUNT queries, "
+        f"pushdown vs live writer",
+        [
+            "workload",
+            "queries",
+            "avg error",
+            "pruned",
+            "aggregated",
+            "oracle",
+            "queries/s",
+        ],
+    )
+    service = AnonymizerService(
+        RTreeAnonymizer(table, base_k=base_k), ServiceConfig()
+    )
+    extras: dict[str, float] = {}
+    try:
+        service.load(base)
+        all_match = True
+        for k in ks:
+            before_pruned = obs.OBS.counter_value("query.nodes_pruned")
+            before_aggregated = obs.OBS.counter_value("query.subtrees_aggregated")
+            answered = service.query(workload, k=k)  # cold: release + build
+            with Timer() as timer:
+                warm = service.query(workload, k=k)
+            pruned = obs.OBS.counter_value("query.nodes_pruned") - before_pruned
+            aggregated = (
+                obs.OBS.counter_value("query.subtrees_aggregated")
+                - before_aggregated
+            )
+            snapshot = service.release(k)
+            oracle = count_anonymized_bulk(workload, snapshot.table)
+            matches = (
+                answered.digest == snapshot.digest
+                and list(answered.values) == list(oracle)
+                and warm.values == answered.values
+            )
+            all_match = all_match and matches
+            errors = [
+                (anonymized - original) / original
+                for anonymized, original in zip(answered.values, original_counts)
+            ]
+            result.add(
+                f"k={k} pushdown",
+                len(workload),
+                sum(errors) / len(errors),
+                pruned,
+                aggregated,
+                "match" if matches else "MISMATCH",
+                len(workload) / timer.elapsed,
+            )
+        extras["oracle_match"] = float(all_match)
+        extras["nodes_pruned"] = float(obs.OBS.counter_value("query.nodes_pruned"))
+        extras["engine_builds"] = float(
+            obs.OBS.counter_value("query.engine_builds")
+        )
+
+        # Phase B: interleaving-dependent counters must not reach the
+        # trail; switch collection off (values stay readable) and restore
+        # without resetting afterwards.
+        was_enabled = obs.OBS.enabled
+        if was_enabled:
+            obs.OBS.disable()
+        try:
+            top_k = ks[-1]
+            rids = itertools.count(len(table))
+            feed_points = itertools.cycle(feed)
+            for readers in reader_counts:
+                stop = threading.Event()
+
+                def _writer() -> None:
+                    while not stop.is_set():
+                        batch = [
+                            Record(next(rids), point.point, point.sensitive)
+                            for point in itertools.islice(
+                                feed_points, write_batch
+                            )
+                        ]
+                        service.submit_insert_batch(batch)
+                        service.barrier()
+
+                per_reader = [
+                    workload[index::readers] for index in range(readers)
+                ]
+                answered_counts = [0] * readers
+
+                def _reader(index: int) -> None:
+                    mine = per_reader[index]
+                    for start in range(0, len(mine), reader_batch):
+                        got = service.query(
+                            mine[start : start + reader_batch], k=top_k
+                        )
+                        answered_counts[index] += len(got)
+
+                writer = threading.Thread(
+                    target=_writer, name="query-bench-writer", daemon=True
+                )
+                threads = [
+                    threading.Thread(
+                        target=_reader, args=(index,), daemon=True
+                    )
+                    for index in range(readers)
+                ]
+                with Timer() as timer:
+                    writer.start()
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    stop.set()
+                writer.join()
+                answered_total = sum(answered_counts)
+                throughput = answered_total / timer.elapsed
+                extras[f"qps_{readers}"] = throughput
+                result.add(
+                    f"{readers} readers vs writer",
+                    answered_total,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    throughput,
+                )
+        finally:
+            if was_enabled:
+                obs.OBS.enable(reset=False, declare_defaults=False)
+    finally:
+        service.close()
+    result.extras = extras
+    if owns_obs:
+        obs.disable()
+        obs.reset()
+    return result
+
+
 #: Registry used by the CLI: name -> driver.
 DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "fig7a": fig7a_bulk_times,
@@ -1466,4 +1660,5 @@ DRIVERS: dict[str, Callable[..., BenchTable]] = {
     "recovery": recovery_bench,
     "serve": serve_bench,
     "serve_cluster": serve_cluster_bench,
+    "query_bench": query_bench,
 }

@@ -77,6 +77,14 @@ KEY_COUNTERS: tuple[str, ...] = (
     "cluster.routed_records",
     "cluster.releases",
     "cluster.cache_misses",
+    # The query-pushdown family: query_bench meters its deterministic
+    # phase only (the concurrent phase runs with the registry disabled).
+    "query.engine_builds",
+    "query.count_queries",
+    "query.nodes_pruned",
+    "query.subtrees_aggregated",
+    "query.leaves_scanned",
+    "serve.queries",
 )
 
 
@@ -131,6 +139,17 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
                     "repeats": 3,
                 },
             ),
+            (
+                "query_bench",
+                {
+                    "records": 2_000,
+                    "queries": 200,
+                    "ks": (10, 25),
+                    "reader_counts": (4, 8, 16),
+                    "write_batch": 100,
+                    "seed": 1,
+                },
+            ),
         ]
     return [
         ("fig7a", {"records": 20_000, "ks": (5, 25, 100), "seed": 1}),
@@ -163,6 +182,17 @@ def core_figures(quick: bool = False) -> list[tuple[str, dict[str, object]]]:
                 "reads_per_round": 4,
                 "k": 25,
                 "shard_counts": (1, 2, 4),
+                "seed": 1,
+            },
+        ),
+        (
+            "query_bench",
+            {
+                "records": 10_000,
+                "queries": 400,
+                "ks": (10, 25, 50),
+                "reader_counts": (4, 8, 16),
+                "write_batch": 200,
                 "seed": 1,
             },
         ),

@@ -1,0 +1,259 @@
+"""A packed static aggregate R-tree over partition MBRs (index pushdown).
+
+The serving-side query engine answers §5.4 COUNT queries against a
+release *through the index* instead of scanning every partition.  A
+release is a flat sequence of partitions; this module packs their MBRs
+into a static aggregate tree (Lazaridis & Mehrotra's aggregate R-tree,
+restricted to bulk construction) whose every node caches the integer
+totals of its subtree.  Descent then has three outcomes per node:
+
+* the query box is **disjoint** from the node MBR — prune the whole
+  subtree (nothing below can intersect);
+* the query box **contains** the node MBR — add the cached subtree total
+  without descending (every entry box lies inside the node MBR, hence
+  inside the query, hence intersects it);
+* otherwise — recurse, scanning entry boxes only at partially-overlapped
+  leaves.
+
+Because entries are packed in release order into contiguous slices, every
+node covers a contiguous entry range, totals are plain integer sums, and
+the result is bit-identical to the leaf-scan oracle
+(:func:`repro.query.ranges.count_anonymized`) by construction: the three
+cases partition the entry set into "all excluded", "all included", and
+"decided individually", with no floating-point arithmetic anywhere.
+
+Entries carry a vector of integer weights so one tree serves several
+aggregates: weight 0 is the partition's record count (range-COUNT),
+weight 1 its "owned" flag (distinct partition count — on a sharded
+cluster exactly one shard owns each partition, so owned-sums merge into
+an exact global distinct count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.geometry.box import Box
+
+#: Children per internal node and entries per leaf.  Pushdown cost is not
+#: sensitive to modest fanout changes; 16 keeps trees shallow (a million
+#: partitions is five levels) while leaves stay cache-friendly.
+DEFAULT_FANOUT = 16
+
+#: Index of the record-count weight in every entry's weight vector.
+WEIGHT_RECORDS = 0
+#: Index of the owned-partition weight (1 on the owning shard, else 0).
+WEIGHT_OWNED = 1
+
+
+@dataclass
+class PushdownStats:
+    """Per-query descent counters (mirrored into ``query.*`` obs metrics)."""
+
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    subtrees_aggregated: int = 0
+    leaves_scanned: int = 0
+    entries_scanned: int = 0
+
+    def merge(self, other: "PushdownStats") -> None:
+        self.nodes_visited += other.nodes_visited
+        self.nodes_pruned += other.nodes_pruned
+        self.subtrees_aggregated += other.subtrees_aggregated
+        self.leaves_scanned += other.leaves_scanned
+        self.entries_scanned += other.entries_scanned
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One packed tree node covering the contiguous entry range
+    ``[start, stop)``; ``children`` is ``None`` at leaves."""
+
+    box: Box
+    start: int
+    stop: int
+    totals: tuple[int, ...]
+    children: tuple["_Node", ...] | None = field(default=None)
+
+
+def _union(boxes: Sequence[Box]) -> Box:
+    lows = list(boxes[0].lows)
+    highs = list(boxes[0].highs)
+    for box in boxes[1:]:
+        for index, (low, high) in enumerate(zip(box.lows, box.highs)):
+            if low < lows[index]:
+                lows[index] = low
+            if high > highs[index]:
+                highs[index] = high
+    return Box(tuple(lows), tuple(highs))
+
+
+class AggregateTree:
+    """A static aggregate R-tree over ``(box, weights)`` entries.
+
+    Entries keep their input order (release order is already spatially
+    coherent — partitions come off a Hilbert-ordered or R⁺-tree
+    traversal), so construction is a single bottom-up packing pass with
+    no sorting and the tree is a pure function of the entry sequence.
+    """
+
+    def __init__(
+        self,
+        boxes: Sequence[Box],
+        weights: Sequence[Sequence[int]],
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if len(weights) != len(boxes):
+            raise ValueError(
+                f"weight rows ({len(weights)}) must match boxes ({len(boxes)})"
+            )
+        self._boxes = tuple(boxes)
+        self._weights = tuple(tuple(int(w) for w in row) for row in weights)
+        widths = {len(row) for row in self._weights}
+        if len(widths) > 1:
+            raise ValueError("all weight rows must have the same width")
+        self._width = widths.pop() if widths else 0
+        self._fanout = fanout
+        self._root = self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> _Node | None:
+        count = len(self._boxes)
+        if count == 0:
+            return None
+        level: list[_Node] = []
+        for start in range(0, count, self._fanout):
+            stop = min(start + self._fanout, count)
+            totals = tuple(
+                sum(self._weights[i][w] for i in range(start, stop))
+                for w in range(self._width)
+            )
+            level.append(
+                _Node(
+                    box=_union(self._boxes[start:stop]),
+                    start=start,
+                    stop=stop,
+                    totals=totals,
+                )
+            )
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), self._fanout):
+                group = level[start : start + self._fanout]
+                totals = tuple(
+                    sum(node.totals[w] for node in group)
+                    for w in range(self._width)
+                )
+                parents.append(
+                    _Node(
+                        box=_union([node.box for node in group]),
+                        start=group[0].start,
+                        stop=group[-1].stop,
+                        totals=totals,
+                        children=tuple(group),
+                    )
+                )
+            level = parents
+        return level[0]
+
+    # -- properties ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    @property
+    def bounds(self) -> Box | None:
+        """The MBR of every entry (``None`` for an empty tree)."""
+        return self._root.box if self._root is not None else None
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (0 for an empty tree, 1 for one leaf)."""
+        height = 0
+        node = self._root
+        while node is not None:
+            height += 1
+            node = node.children[0] if node.children else None
+        return height
+
+    def total(self, weight: int = WEIGHT_RECORDS) -> int:
+        """The whole-tree total of one weight column."""
+        return self._root.totals[weight] if self._root is not None else 0
+
+    # -- pushdown ------------------------------------------------------------
+
+    def aggregate(
+        self,
+        query: Box,
+        weight: int = WEIGHT_RECORDS,
+        stats: PushdownStats | None = None,
+    ) -> int:
+        """Sum one weight column over every entry whose box intersects
+        ``query`` — exactly the §5.4 anonymized-table match predicate,
+        answered through the index."""
+        if self._root is None:
+            return 0
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+            if not query.intersects(node.box):
+                if stats is not None:
+                    stats.nodes_pruned += 1
+                continue
+            if query.contains_box(node.box):
+                if stats is not None:
+                    stats.subtrees_aggregated += 1
+                total += node.totals[weight]
+                continue
+            if node.children is None:
+                if stats is not None:
+                    stats.leaves_scanned += 1
+                    stats.entries_scanned += node.stop - node.start
+                for index in range(node.start, node.stop):
+                    if query.intersects(self._boxes[index]):
+                        total += self._weights[index][weight]
+            else:
+                stack.extend(node.children)
+        return total
+
+    def matching(
+        self, query: Box, stats: PushdownStats | None = None
+    ) -> Iterator[int]:
+        """Indices of every entry whose box intersects ``query``, ascending.
+
+        The same three-way descent as :meth:`aggregate`; fully-contained
+        subtrees yield their contiguous entry range without being walked.
+        """
+        if self._root is None:
+            return
+        # Depth-first with children pushed in reverse keeps output ascending.
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+            if not query.intersects(node.box):
+                if stats is not None:
+                    stats.nodes_pruned += 1
+                continue
+            if query.contains_box(node.box):
+                if stats is not None:
+                    stats.subtrees_aggregated += 1
+                yield from range(node.start, node.stop)
+                continue
+            if node.children is None:
+                if stats is not None:
+                    stats.leaves_scanned += 1
+                    stats.entries_scanned += node.stop - node.start
+                for index in range(node.start, node.stop):
+                    if query.intersects(self._boxes[index]):
+                        yield index
+            else:
+                stack.extend(reversed(node.children))

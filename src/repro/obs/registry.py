@@ -88,6 +88,7 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "serve.epoch_bumps",
     "serve.write_groups",
     "serve.queued_writes",
+    "serve.queries",
     "serve.slow_ops",
     "serve.telemetry.scrapes",
     "serve.telemetry.health_checks",
@@ -102,6 +103,19 @@ DEFAULT_COUNTERS: tuple[str, ...] = (
     "cluster.cache_hits",
     "cluster.cache_misses",
     "cluster.shard_failures",
+    "cluster.queries",
+    "cluster.query_installs",
+    "query.engine_builds",
+    "query.engine_cache_hits",
+    "query.count_queries",
+    "query.distinct_queries",
+    "query.point_lookups",
+    "query.groupby_queries",
+    "query.nodes_visited",
+    "query.nodes_pruned",
+    "query.subtrees_aggregated",
+    "query.leaves_scanned",
+    "query.partitions_scanned",
 )
 
 #: Gauge names pre-registered alongside the counters (point-in-time levels).
@@ -125,6 +139,8 @@ DEFAULT_HISTOGRAMS: tuple[str, ...] = (
     "serve.snapshot_swap_seconds",
     "wal.fsync_seconds",
     "cluster.release_seconds",
+    "cluster.query_seconds",
+    "serve.query_seconds",
 )
 
 #: Everything :meth:`MetricsRegistry.enable` declares up front.

@@ -6,6 +6,11 @@ report the normalized error.  This package provides the query type, the
 two workload generators the paper uses (all-attribute random ranges and
 single-attribute zipcode ranges), and the evaluation/bucketing machinery
 behind Figures 12(a)-(d).
+
+:mod:`repro.query.engine` adds the serving-side path: a
+:class:`QueryEngine` answers the same queries through the partition
+index (MBR pruning with cached subtree totals) instead of scanning every
+partition, bit-identically to the scalar oracle retained here.
 """
 
 from repro.query.accuracy import (
@@ -14,6 +19,13 @@ from repro.query.accuracy import (
     bucket_by_selectivity,
     evaluate_workload,
 )
+from repro.query.engine import (
+    QUERY_KINDS,
+    QueryEngine,
+    QueryResult,
+    group_by_queries,
+    point_query,
+)
 from repro.query.ranges import RangeQuery, count_anonymized, count_original
 from repro.query.workload import (
     random_range_workload,
@@ -21,13 +33,18 @@ from repro.query.workload import (
 )
 
 __all__ = [
+    "QUERY_KINDS",
+    "QueryEngine",
     "QueryOutcome",
+    "QueryResult",
     "RangeQuery",
     "average_error",
     "bucket_by_selectivity",
     "count_anonymized",
     "count_original",
     "evaluate_workload",
+    "group_by_queries",
+    "point_query",
     "random_range_workload",
     "single_attribute_workload",
 ]

@@ -5,9 +5,11 @@
     Error(Q) = (count(anonymized) - count(original)) / count(original)
 
 and reports the average over a 1000-query workload (Figure 12(a)(c)) and
-per selectivity band (Figure 12(b)(d)) — the observation being that errors
-shrink as queries grow more selective of the data, washing out differences
-between anonymization algorithms at high selectivity.
+per selectivity band (Figure 12(b)(d)).  Selectivity here is a fraction:
+a query's original-side matches divided by the table size, in ``(0, 1]``.
+The observation is that errors shrink as that fraction grows (wider
+queries), washing out differences between anonymization algorithms at
+high selectivity.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ class QueryOutcome:
     query: RangeQuery
     original_count: int
     anonymized_count: int
+    table_size: int = 0
 
     @property
     def error(self) -> float:
@@ -40,12 +43,18 @@ class QueryOutcome:
 
     @property
     def selectivity(self) -> float:
-        """Original matches as a fraction of... the caller's record total.
+        """Original matches as a fraction of the table size, in ``(0, 1]``.
 
-        Stored as the raw count here; use :func:`bucket_by_selectivity`
-        with the table size for fractions.
+        Requires ``table_size`` (threaded through by
+        :func:`evaluate_workload`); outcomes constructed without it cannot
+        express a fraction and raise.
         """
-        return float(self.original_count)
+        if self.table_size <= 0:
+            raise ValueError(
+                "selectivity needs a positive table_size; construct the "
+                "outcome via evaluate_workload or pass table_size explicitly"
+            )
+        return self.original_count / self.table_size
 
 
 def evaluate_workload(
@@ -64,8 +73,9 @@ def evaluate_workload(
     if original_counts is None:
         original_counts = count_original_bulk(query_list, original).tolist()
     anonymized_counts = count_anonymized_bulk(query_list, anonymized).tolist()
+    table_size = len(original)
     return [
-        QueryOutcome(query, int(orig), int(anon))
+        QueryOutcome(query, int(orig), int(anon), table_size)
         for query, orig, anon in zip(query_list, original_counts, anonymized_counts)
     ]
 
@@ -84,19 +94,26 @@ def bucket_by_selectivity(
 ) -> list[tuple[str, int, float]]:
     """Average error per selectivity band (Figure 12(b)/(d)).
 
-    Selectivity of a query is its original-count divided by the table size.
-    Returns ``(band label, query count, average error)`` rows; empty bands
-    are reported with a NaN error so tables keep a fixed shape.
+    Selectivity of a query is its original-count divided by the table size
+    (exactly :attr:`QueryOutcome.selectivity` when the outcome carries its
+    own ``table_size``; the explicit argument covers outcomes built by
+    hand without one).  Returns ``(band label, query count, average
+    error)`` rows; empty bands are reported with a NaN error so tables
+    keep a fixed shape.
     """
     if table_size <= 0:
         raise ValueError("table_size must be positive")
+
+    def fraction(outcome: QueryOutcome) -> float:
+        if outcome.table_size > 0:
+            return outcome.selectivity
+        return outcome.original_count / table_size
+
     rows: list[tuple[str, int, float]] = []
     previous = 0.0
     for edge in edges:
         band = [
-            outcome
-            for outcome in outcomes
-            if previous < outcome.original_count / table_size <= edge
+            outcome for outcome in outcomes if previous < fraction(outcome) <= edge
         ]
         label = f"({previous:g}, {edge:g}]"
         if band:

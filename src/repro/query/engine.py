@@ -1,0 +1,251 @@
+"""The serving-side query engine: §5.4 queries answered via index pushdown.
+
+A :class:`QueryEngine` is built once per release (cheap — one bottom-up
+packing pass over the partition MBRs) and then answers four query shapes
+against it, all reduced to aggregate descents of the packed tree in
+:mod:`repro.index.aggregate`:
+
+* **range COUNT** — sum of partition sizes over partitions intersecting
+  the query box (the §5.4 anonymized-table semantics);
+* **point lookup** — a range COUNT over the degenerate box ``[p, p]``
+  (``box.contains_point(p)`` iff ``box.intersects(Box(p, p))``), plus
+  access to the matching partitions themselves;
+* **distinct count** — the number of partitions (equivalence classes)
+  intersecting the query box, via the "owned" weight column;
+* **group-by aggregate** — per-bin range COUNTs along one attribute.
+
+Every answer is bit-identical to the retained leaf-scan oracle
+(:func:`repro.query.ranges.count_anonymized`): the descent partitions the
+partition set exactly and sums the same integers (see the proof sketch in
+``repro.index.aggregate``).  The oracle stays the differential reference
+for the test suite, the same pattern the parallel and kernel fast paths
+follow.
+
+Engines built from a release table carry the table (so point lookups can
+return partitions); shard workers instead build entry-only engines from
+``(box, counts, owned)`` slices shipped by the cluster router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.partition import AnonymizedTable, Partition
+from repro.geometry.box import Box
+from repro.index.aggregate import (
+    DEFAULT_FANOUT,
+    WEIGHT_OWNED,
+    WEIGHT_RECORDS,
+    AggregateTree,
+    PushdownStats,
+)
+from repro.obs import OBS
+from repro.query.ranges import RangeQuery
+
+#: Query kinds the serving layer accepts.
+QUERY_KINDS = ("count", "distinct")
+
+_KIND_WEIGHTS = {"count": WEIGHT_RECORDS, "distinct": WEIGHT_OWNED}
+
+_KIND_COUNTERS = {"count": "query.count_queries", "distinct": "query.distinct_queries"}
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A batch answer stamped with the release it was computed against.
+
+    ``epoch`` and ``digest`` identify the exact snapshot: two results with
+    equal digests were answered against bit-identical releases, which is
+    how readers (and the stress suite) check epoch consistency under a
+    live writer.
+    """
+
+    kind: str
+    values: tuple[int, ...]
+    k: int
+    epoch: int
+    digest: str
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def point_query(point: Sequence[float]) -> RangeQuery:
+    """The degenerate range query matching exactly the partitions whose
+    box contains ``point``."""
+    coords = tuple(float(value) for value in point)
+    return RangeQuery(Box(coords, coords))
+
+
+def group_by_queries(
+    base: Box, dimension: int, edges: Sequence[float]
+) -> list[RangeQuery]:
+    """Per-bin range queries along one attribute of ``base``.
+
+    Bin ``i`` spans the closed interval ``[edges[i], edges[i+1]]`` on
+    ``dimension`` and all of ``base`` elsewhere.  Boxes are closed (§5.4),
+    so partitions sitting exactly on a shared edge count toward both
+    neighbouring bins — the semantics callers already get from
+    ``count_anonymized`` on the same boxes.
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two edges to form a bin")
+    ordered = [float(edge) for edge in edges]
+    if any(b < a for a, b in zip(ordered, ordered[1:])):
+        raise ValueError("edges must be non-decreasing")
+    if not 0 <= dimension < base.dimensions:
+        raise ValueError(f"dimension {dimension} out of range for {base.dimensions}")
+    queries = []
+    for low, high in zip(ordered, ordered[1:]):
+        lows = list(base.lows)
+        highs = list(base.highs)
+        lows[dimension] = low
+        highs[dimension] = high
+        queries.append(RangeQuery(Box(tuple(lows), tuple(highs))))
+    return queries
+
+
+class QueryEngine:
+    """Index-pushdown query evaluation over one immutable release."""
+
+    def __init__(
+        self, table: AnonymizedTable, *, fanout: int = DEFAULT_FANOUT
+    ) -> None:
+        boxes = [partition.box for partition in table.partitions]
+        weights = [(len(partition), 1) for partition in table.partitions]
+        self._table: AnonymizedTable | None = table
+        self._tree = AggregateTree(boxes, weights, fanout=fanout)
+        self.stats = PushdownStats()
+        if OBS.enabled:
+            OBS.count("query.engine_builds")
+
+    @classmethod
+    def from_entries(
+        cls,
+        boxes: Sequence[Box],
+        counts: Sequence[int],
+        owned: Sequence[int] | None = None,
+        *,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> "QueryEngine":
+        """Build an engine from bare ``(box, count, owned)`` entries.
+
+        This is the shard-worker constructor: the router ships each shard
+        its slice of every partition (the shared global box, the count of
+        records the shard holds, and an owned flag set on exactly one
+        shard), and per-shard answers merge by elementwise sum into the
+        single-engine answer.  No table is attached, so
+        :meth:`point_partitions` is unavailable.
+        """
+        engine = cls.__new__(cls)
+        if owned is None:
+            owned = [1] * len(counts)
+        if not (len(boxes) == len(counts) == len(owned)):
+            raise ValueError("boxes, counts and owned must have equal lengths")
+        engine._table = None
+        engine._tree = AggregateTree(
+            boxes, list(zip(counts, owned)), fanout=fanout
+        )
+        engine.stats = PushdownStats()
+        if OBS.enabled:
+            OBS.count("query.engine_builds")
+        return engine
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._tree)
+
+    @property
+    def bounds(self) -> Box | None:
+        return self._tree.bounds
+
+    @property
+    def table(self) -> AnonymizedTable | None:
+        return self._table
+
+    # -- evaluation ----------------------------------------------------------
+
+    def count(self, query: RangeQuery) -> int:
+        """Range COUNT: total records of partitions intersecting the query."""
+        return self._aggregate(query, "count")
+
+    def distinct_count(self, query: RangeQuery) -> int:
+        """Number of distinct equivalence classes intersecting the query."""
+        return self._aggregate(query, "distinct")
+
+    def evaluate(self, queries: Sequence[RangeQuery], kind: str = "count") -> list[int]:
+        """Answer a whole workload; ``kind`` is ``"count"`` or ``"distinct"``."""
+        if kind not in _KIND_WEIGHTS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {QUERY_KINDS}")
+        return [self._aggregate(query, kind) for query in queries]
+
+    def point_lookup(self, point: Sequence[float]) -> int:
+        """Records that *might* match ``point``: the sizes of every
+        partition whose box contains it (§5.4 point semantics)."""
+        query = point_query(point)
+        if OBS.enabled:
+            OBS.count("query.point_lookups")
+        return self._aggregate(query, "count", counted=False)
+
+    def point_partitions(self, point: Sequence[float]) -> tuple[Partition, ...]:
+        """The equivalence classes whose box contains ``point``.
+
+        Only table-backed engines can materialize partitions; entry-only
+        shard engines raise.
+        """
+        if self._table is None:
+            raise ValueError("engine was built from bare entries; no table attached")
+        query = point_query(point)
+        stats = PushdownStats()
+        indices = list(self._tree.matching(query.box, stats))
+        self._record(stats)
+        if OBS.enabled:
+            OBS.count("query.point_lookups")
+        partitions = self._table.partitions
+        return tuple(partitions[index] for index in indices)
+
+    def group_by_count(
+        self,
+        dimension: int,
+        edges: Sequence[float],
+        base: Box | None = None,
+    ) -> list[tuple[float, float, int]]:
+        """Per-bin range COUNTs along ``dimension``.
+
+        ``base`` defaults to the engine's own bounds (the release MBR).
+        Returns ``(bin low, bin high, count)`` rows; an empty release
+        yields all-zero counts over the caller-supplied base.
+        """
+        if base is None:
+            base = self.bounds
+            if base is None:
+                raise ValueError("empty release has no bounds; pass base explicitly")
+        queries = group_by_queries(base, dimension, edges)
+        if OBS.enabled:
+            OBS.count("query.groupby_queries")
+        return [
+            (query.box.lows[dimension], query.box.highs[dimension], self.count(query))
+            for query in queries
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _aggregate(self, query: RangeQuery, kind: str, counted: bool = True) -> int:
+        stats = PushdownStats()
+        value = self._tree.aggregate(query.box, _KIND_WEIGHTS[kind], stats)
+        self._record(stats)
+        if counted and OBS.enabled:
+            OBS.count(_KIND_COUNTERS[kind])
+        return value
+
+    def _record(self, stats: PushdownStats) -> None:
+        self.stats.merge(stats)
+        if OBS.enabled:
+            OBS.count("query.nodes_visited", stats.nodes_visited)
+            OBS.count("query.nodes_pruned", stats.nodes_pruned)
+            OBS.count("query.subtrees_aggregated", stats.subtrees_aggregated)
+            OBS.count("query.leaves_scanned", stats.leaves_scanned)
+            OBS.count("query.partitions_scanned", stats.entries_scanned)

@@ -83,7 +83,10 @@ def count_anonymized_bulk(
     """Vectorized anonymized-table counts for a whole workload."""
     lows = np.array([p.box.lows for p in table.partitions], dtype=np.float64)
     highs = np.array([p.box.highs for p in table.partitions], dtype=np.float64)
-    sizes = np.array([len(p) for p in table.partitions], dtype=np.float64)
+    # Integer partition sizes must stay integer: routing the bool mask
+    # through float64 loses exactness past 2**53 aggregate counts and the
+    # bulk path would silently diverge from the scalar oracle.
+    sizes = np.array([len(p) for p in table.partitions], dtype=np.int64)
     qlows = np.array([q.box.lows for q in queries], dtype=np.float64)
     qhighs = np.array([q.box.highs for q in queries], dtype=np.float64)
     counts = np.zeros(len(queries), dtype=np.int64)

@@ -32,8 +32,10 @@ def random_range_workload(
     records = table.records
     queries: list[RangeQuery] = []
     for _ in range(count):
-        first = rng.choice(records)
-        second = rng.choice(records)
+        # Sample the pair without replacement: drawing the same record
+        # twice yields a degenerate point query that can match a single
+        # record, breaking the documented two-record guarantee.
+        first, second = rng.sample(records, 2)
         lows = tuple(min(a, b) for a, b in zip(first.point, second.point))
         highs = tuple(max(a, b) for a, b in zip(first.point, second.point))
         queries.append(RangeQuery(Box(lows, highs)))
@@ -58,8 +60,9 @@ def single_attribute_workload(
     records = table.records
     queries: list[RangeQuery] = []
     for _ in range(count):
-        first = rng.choice(records).point[dimension]
-        second = rng.choice(records).point[dimension]
+        pair = rng.sample(records, 2)
+        first = pair[0].point[dimension]
+        second = pair[1].point[dimension]
         lows = list(domain_lows)
         highs = list(domain_highs)
         lows[dimension] = min(first, second)

@@ -11,9 +11,12 @@ against the current epoch.  Constraints are keyed by *identity* (the
 callable object itself participates in the key, which doubles as the
 "constraint fingerprint": two requests share a cache line iff they pass
 the very same constraint object, and holding the object in the key keeps
-the identity stable).  Invalidation is epoch-based and lazy: writers only
-bump an integer; a stale entry is dropped at the next lookup that trips
-over it.
+the identity stable).  Invalidation is epoch-based: writers only bump an
+integer; a stale entry is dropped at the next lookup that trips over it,
+and every ``put`` sweeps entries older than the incoming snapshot's epoch
+so keys that are never re-requested (e.g. churned constraint identities)
+cannot pin dead ``AnonymizedTable``s forever.  An optional ``max_entries``
+bound evicts oldest-inserted entries beyond a fixed count.
 """
 
 from __future__ import annotations
@@ -77,12 +80,17 @@ class ReleaseCache:
     caller read from the service; an entry recorded at an older epoch is
     dropped on the spot (a write happened since — the release may no
     longer reflect the data).  ``put`` atomically swaps the published
-    snapshot for its key.
+    snapshot for its key and sweeps entries staler than the snapshot's
+    epoch, so retention is bounded by the set of keys *live at the
+    current epoch* rather than every key ever requested.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when set")
         self._entries: dict[CacheKey, ReleaseSnapshot] = {}
         self._lock = threading.Lock()
+        self._max_entries = max_entries
         self.stats = CacheStats()
 
     def get(self, key: CacheKey, epoch: int) -> ReleaseSnapshot | None:
@@ -105,7 +113,26 @@ class ReleaseCache:
 
     def put(self, key: CacheKey, snapshot: ReleaseSnapshot) -> None:
         with self._lock:
+            stale = [
+                existing_key
+                for existing_key, entry in self._entries.items()
+                if entry.epoch < snapshot.epoch
+            ]
+            for existing_key in stale:
+                del self._entries[existing_key]
+                self.stats.invalidations += 1
+            if stale and OBS.enabled:
+                OBS.count("serve.cache_invalidations", len(stale))
             self._entries[key] = snapshot
+            if self._max_entries is not None:
+                # Dict preserves insertion order: drop oldest-inserted
+                # entries first until the bound holds.
+                while len(self._entries) > self._max_entries:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self.stats.invalidations += 1
+                    if OBS.enabled:
+                        OBS.count("serve.cache_invalidations")
 
     def clear(self) -> None:
         with self._lock:

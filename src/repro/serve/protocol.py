@@ -35,6 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.leafscan import Constraint
     from repro.dataset.record import Record
     from repro.dataset.table import Table
+    from repro.query.engine import QueryResult
+    from repro.query.ranges import RangeQuery
     from repro.serve.cache import ReleaseSnapshot
 
 __all__ = ["ServiceProtocol"]
@@ -99,6 +101,22 @@ class ServiceProtocol(Protocol):
         The default ``strategy`` is backend-specific (``"subtree"`` for
         the single service, ``"hilbert"`` for the cluster); both accept
         the keyword explicitly.
+        """
+        ...
+
+    def query(
+        self,
+        queries: "RangeQuery | Sequence[RangeQuery]",
+        *,
+        k: int,
+        kind: str = "count",
+    ) -> "QueryResult":
+        """Answer §5.4 queries against the k-release via index pushdown.
+
+        The whole batch is evaluated against one snapshot; the result is
+        stamped with that snapshot's epoch and digest, and its values are
+        bit-identical to the scalar oracle over the same snapshot (the
+        cluster merges per-shard pushdown answers exactly).
         """
         ...
 

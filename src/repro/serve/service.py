@@ -57,8 +57,14 @@ from repro.obs.live import (
     WriterWatchdog,
     prometheus_text,
 )
+from repro.query.engine import QUERY_KINDS, QueryEngine, QueryResult
+from repro.query.ranges import RangeQuery
 from repro.serve.cache import CacheKey, ReleaseCache, ReleaseSnapshot
 from repro.serve.queue import INSERT_KINDS, WriteOp, WriteQueue
+
+#: Pushdown engines cached per release recipe; oldest-built evicted beyond
+#: this (an engine is cheap to rebuild — one packing pass over the MBRs).
+MAX_QUERY_ENGINES = 8
 
 
 class ServiceClosedError(RuntimeError):
@@ -79,12 +85,15 @@ class ServiceConfig:
     write history, so leave it off in production use.  ``telemetry``
     opts into the live layer (:mod:`repro.obs.live`): the ``/metrics`` +
     ``/healthz`` endpoint, the writer watchdog thresholds, and the
-    slow-op log.
+    slow-op log.  ``cache_max_entries`` bounds how many release recipes
+    the cache may hold at once (stale epochs are swept on every put
+    regardless; ``None`` removes the bound).
     """
 
     max_queue: int = 1024
     max_batch: int = 256
     cache_releases: bool = True
+    cache_max_entries: int | None = 64
     journal: bool = False
     telemetry: TelemetryConfig | None = None
 
@@ -100,7 +109,9 @@ class AnonymizerService:
         self._engine = engine
         self._config = config if config is not None else ServiceConfig()
         self._write_lock = threading.RLock()
-        self._cache = ReleaseCache()
+        self._cache = ReleaseCache(max_entries=self._config.cache_max_entries)
+        self._query_engines: dict[CacheKey, tuple[str, QueryEngine]] = {}
+        self._query_lock = threading.Lock()
         self._epoch = 0
         self._queue = WriteQueue(self._config.max_queue)
         self._journal: list[tuple] | None = [] if self._config.journal else None
@@ -438,6 +449,78 @@ class AnonymizerService:
                         time.perf_counter() - swap_started,
                     )
             return snapshot
+
+    # -- query path ----------------------------------------------------------
+
+    def query(
+        self,
+        queries: "RangeQuery | Sequence[RangeQuery]",
+        *,
+        k: int,
+        kind: str = "count",
+        compacted: bool = True,
+        constraint: Constraint | None = None,
+        strategy: str = "subtree",
+    ) -> QueryResult:
+        """Answer §5.4 queries against the k-release via index pushdown.
+
+        ``kind`` is ``"count"`` (records of intersecting partitions) or
+        ``"distinct"`` (number of intersecting equivalence classes); point
+        lookups and group-by aggregates reduce to these via
+        :func:`repro.query.point_query` / :func:`repro.query.group_by_queries`.
+        The whole batch is answered against ONE snapshot — the result is
+        stamped with that snapshot's epoch and digest, so a caller can
+        check which release state the answers reflect even while a writer
+        is live.  Answers are bit-identical to running the scalar oracle
+        :func:`repro.query.count_anonymized` over the same snapshot.
+        """
+        self._assert_open()
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {QUERY_KINDS}")
+        batch = [queries] if isinstance(queries, RangeQuery) else list(queries)
+        snapshot = self.release(
+            k, compacted=compacted, constraint=constraint, strategy=strategy
+        )
+        engine = self._pushdown_engine(
+            (k, strategy, compacted, constraint), snapshot
+        )
+        started = time.perf_counter()
+        values = engine.evaluate(batch, kind)
+        if OBS.enabled:
+            OBS.count("serve.queries")
+            OBS.observe("serve.query_seconds", time.perf_counter() - started)
+        return QueryResult(
+            kind=kind,
+            values=tuple(values),
+            k=k,
+            epoch=snapshot.epoch,
+            digest=snapshot.digest,
+        )
+
+    def _pushdown_engine(
+        self, key: CacheKey, snapshot: ReleaseSnapshot
+    ) -> QueryEngine:
+        """The cached pushdown engine for one release recipe.
+
+        Keyed by recipe, validated by digest: a digest match means the
+        snapshot's table is bit-identical to the one the engine was built
+        over, so reuse is safe across epochs whose writes did not change
+        this release.  The engine itself is immutable apart from its
+        advisory ``stats``, so handing one engine to many reader threads
+        is fine.
+        """
+        with self._query_lock:
+            cached = self._query_engines.get(key)
+            if cached is not None and cached[0] == snapshot.digest:
+                if OBS.enabled:
+                    OBS.count("query.engine_cache_hits")
+                return cached[1]
+        engine = QueryEngine(snapshot.table)
+        with self._query_lock:
+            self._query_engines[key] = (snapshot.digest, engine)
+            while len(self._query_engines) > MAX_QUERY_ENGINES:
+                del self._query_engines[next(iter(self._query_engines))]
+        return engine
 
     # -- lifecycle -----------------------------------------------------------
 

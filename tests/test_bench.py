@@ -140,7 +140,7 @@ class TestFigureDrivers:
             "ablation-bulkload", "ablation-split", "ablation-gridfile",
             "ablation-estimator", "ablation-weighted", "ablation-indexes",
             "ablation-loading", "multigranular", "recovery", "serve",
-            "serve_cluster",
+            "serve_cluster", "query_bench",
         }
 
     def test_recovery_bench(self, tmp_path, monkeypatch) -> None:
@@ -182,6 +182,25 @@ class TestFigureDrivers:
         rendered = table.render()
         assert "telemetry_overhead" in rendered
         assert "commit_p99" in rendered
+
+    def test_query_bench(self) -> None:
+        table = figures.query_bench(
+            records=800,
+            queries=40,
+            ks=(10,),
+            reader_counts=(2,),
+            write_batch=50,
+            reader_batch=10,
+            seed=1,
+        )
+        # One accuracy row per k plus one throughput row per reader count.
+        assert len(table.rows) == 2
+        accuracy, throughput = table.rows
+        assert accuracy[5] == "match"  # pushdown == leaf-scan oracle
+        assert table.extras["oracle_match"] == 1.0
+        assert table.extras["nodes_pruned"] > 0  # the index actually pruned
+        assert table.extras["qps_2"] > 0
+        assert throughput[6] > 0
 
 
 class TestCLI:

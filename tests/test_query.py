@@ -97,6 +97,34 @@ class TestCounting:
             assert bulk_orig[index] == count_original(query, medium_table)
             assert bulk_anon[index] == count_anonymized(query, release)
 
+    def test_bulk_counts_exact_beyond_float53(self) -> None:
+        """Regression: sizes routed through float64 lose exactness at 2**53.
+
+        ``2**53 + 1`` is not representable in float64, so the old
+        float-dtype bulk path answered ``2**53`` while the scalar oracle
+        answered ``2**53 + 1``.  Duck-typed partitions keep the test cheap
+        (no materialized nine-quadrillion-record table).
+        """
+
+        class _HugePartition:
+            def __init__(self, box: Box, size: int) -> None:
+                self.box = box
+                self._size = size
+
+            def __len__(self) -> int:
+                return self._size
+
+        class _HugeTable:
+            def __init__(self, partitions) -> None:
+                self.partitions = partitions
+
+        box = Box((0.0, 0.0), (10.0, 10.0))
+        table = _HugeTable([_HugePartition(box, 2**53), _HugePartition(box, 1)])
+        query = RangeQuery(Box((0.0, 0.0), (5.0, 5.0)))
+        scalar = count_anonymized(query, table)
+        assert scalar == 2**53 + 1
+        assert count_anonymized_bulk([query], table)[0] == scalar
+
     def test_uniform_estimate(self, schema2) -> None:
         release, _ = self.make_release(schema2)
         # The §2.3 estimator: partition [50,60]^2 (discrete volume 11x11),
@@ -125,6 +153,34 @@ class TestWorkloads:
         for query in queries:
             assert query.box.lows[0] == 0.0 and query.box.highs[0] == 100.0
             assert query.box.lows[2] == 0.0 and query.box.highs[2] == 100.0
+
+    def test_random_workload_pair_sampled_without_replacement(self, schema3) -> None:
+        """Regression: with-replacement sampling could draw one record twice.
+
+        On a two-record table the old code drew a degenerate (r, r) pair
+        with probability 1/2 per query, producing a point query matching a
+        single record — 30 queries made a violation all but certain.
+        """
+        records = [
+            Record(0, (0.0, 0.0, 0.0), ("x",)),
+            Record(1, (100.0, 100.0, 100.0), ("y",)),
+        ]
+        table = Table(schema3, records)
+        queries = random_range_workload(table, 30, seed=7)
+        counts = count_original_bulk(queries, table)
+        assert (counts >= 2).all()
+
+    def test_single_attribute_workload_pair_without_replacement(
+        self, schema3
+    ) -> None:
+        records = [
+            Record(0, (0.0, 0.0, 0.0), ("x",)),
+            Record(1, (100.0, 100.0, 100.0), ("y",)),
+        ]
+        table = Table(schema3, records)
+        queries = single_attribute_workload(table, "a", 30, seed=7)
+        counts = count_original_bulk(queries, table)
+        assert (counts >= 2).all()
 
     def test_workloads_reproducible(self, medium_table) -> None:
         a = random_range_workload(medium_table, 20, seed=3)
@@ -194,3 +250,23 @@ class TestAccuracy:
     def test_buckets_invalid_table_size(self) -> None:
         with pytest.raises(ValueError):
             bucket_by_selectivity([], 0)
+
+    def test_selectivity_is_a_fraction(self, medium_table) -> None:
+        """Regression: ``selectivity`` used to return the raw original count."""
+        from repro.core.anonymizer import RTreeAnonymizer
+
+        anonymizer = RTreeAnonymizer(medium_table, base_k=5)
+        anonymizer.bulk_load(medium_table)
+        release = anonymizer.anonymize(10)
+        queries = random_range_workload(medium_table, 50, seed=8)
+        outcomes = evaluate_workload(queries, release, medium_table)
+        for outcome in outcomes:
+            assert 0.0 < outcome.selectivity <= 1.0
+            assert outcome.selectivity == pytest.approx(
+                outcome.original_count / len(medium_table)
+            )
+
+    def test_selectivity_without_table_size_raises(self) -> None:
+        outcome = QueryOutcome(RangeQuery(Box((0.0,), (1.0,))), 10, 25)
+        with pytest.raises(ValueError):
+            outcome.selectivity

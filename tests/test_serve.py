@@ -75,6 +75,35 @@ class TestReleaseCache:
         assert first is not None and first.k == 10
         assert second is not None and second.k == 25
 
+    def test_put_sweeps_stale_entries_of_never_reused_keys(self) -> None:
+        """Regression: churned constraint identities used to pin dead
+        snapshots forever — lazy invalidation only fired when the exact
+        key was looked up again."""
+        cache = ReleaseCache()
+        for epoch in range(1, 51):
+            constraint = object()  # a fresh identity every release
+            cache.put((10, "subtree", True, constraint), _snapshot(epoch=epoch))
+        assert len(cache) == 1  # only the newest-epoch entry survives
+        assert cache.stats.invalidations == 49
+
+    def test_put_keeps_same_epoch_siblings(self) -> None:
+        cache = ReleaseCache()
+        cache.put((10, "subtree", True, None), _snapshot(1, k=10))
+        cache.put((25, "subtree", True, None), _snapshot(1, k=25))
+        assert len(cache) == 2  # same epoch: both recipes stay live
+
+    def test_max_entries_bounds_same_epoch_keys(self) -> None:
+        cache = ReleaseCache(max_entries=4)
+        for k in range(10, 20):
+            cache.put((k, "subtree", True, None), _snapshot(1, k=k))
+        assert len(cache) == 4
+        assert cache.get((19, "subtree", True, None), 1) is not None
+        assert cache.get((10, "subtree", True, None), 1) is None
+
+    def test_max_entries_must_be_positive(self) -> None:
+        with pytest.raises(ValueError):
+            ReleaseCache(max_entries=0)
+
 
 class TestWriteQueue:
     def test_consecutive_inserts_coalesce_into_one_group(self) -> None:
